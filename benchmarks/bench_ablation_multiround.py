@@ -1,0 +1,51 @@
+"""Ablation: QAOA rounds vs reuse opportunity (scope boundary).
+
+Measure-based reuse needs qubits that *finish early*.  Each extra QAOA
+round extends every qubit's lifetime through another mixer layer, and the
+commuting freedom the paper exploits only applies within a single cost
+layer — so reuse shrinks sharply with p.  The paper evaluates p = 1;
+this ablation quantifies how fast the opportunity decays beyond it.
+"""
+
+import networkx as nx
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.core import QSCaQR, valid_reuse_pairs
+from repro.workloads import qaoa_maxcut_circuit
+
+N = 8
+
+
+def _rows():
+    graph = nx.cycle_graph(N)  # connected, no isolated qubits
+    rows = []
+    for rounds in (1, 2, 3):
+        gammas = [0.8 / r for r in range(1, rounds + 1)]
+        betas = [0.4] * rounds
+        circuit = qaoa_maxcut_circuit(graph, gammas=gammas, betas=betas)
+        pairs = valid_reuse_pairs(circuit)
+        floor = QSCaQR().minimum_qubits(circuit)
+        rows.append(
+            [rounds, circuit.size(), len(pairs), floor, f"{1 - floor / N:.0%}"]
+        )
+    return rows
+
+
+def test_ablation_multiround(benchmark):
+    rows = once(benchmark, _rows)
+    emit(
+        "ablation_multiround",
+        format_table(
+            ["QAOA rounds (p)", "gates", "valid reuse pairs", "qubit floor", "saving"],
+            rows,
+            title="Ablation: reuse opportunity decays with QAOA depth p "
+            "(the paper's experiments use p = 1)",
+        ),
+    )
+    pairs = [row[2] for row in rows]
+    floors = [row[3] for row in rows]
+    # opportunity strictly shrinks from p=1 to p=2 and never recovers
+    assert pairs[0] > pairs[1] >= pairs[2]
+    assert floors[0] < floors[1] <= floors[2]

@@ -1,0 +1,71 @@
+"""Ablation: noise-aware vs distance-only placement in SR-CaQR.
+
+SR-CaQR breaks placement ties by readout / CNOT error and routes SWAPs
+along error-weighted paths.  This ablation measures the estimated success
+probability (ESP) of the compiled circuits with and without the
+calibration data.
+
+Measured finding (recorded, not assumed): at Falcon-scale error
+variability, SWAP *count* dominates link *quality* — error-weighted paths
+occasionally take an extra hop and lose more ESP than the better links
+recover.  Neither mode dominates; the two modes genuinely change the
+compilation (that is what the assertions check), and the per-benchmark
+table quantifies the tradeoff.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.core import SRCaQR
+from repro.hardware import ibm_mumbai
+from repro.sim import estimated_success_probability
+from repro.workloads import regular_benchmark
+
+BENCHMARKS = ["bv_10", "multiply_13", "system_9", "cc_10", "xor_5", "4mod5"]
+
+
+def _rows():
+    backend = ibm_mumbai()
+    rows = []
+    for name in BENCHMARKS:
+        circuit = regular_benchmark(name)
+        aware = SRCaQR(backend, noise_aware=True).run(circuit, objective="esp")
+        blind = SRCaQR(backend, noise_aware=False).run(circuit, objective="esp")
+        esp_aware = estimated_success_probability(
+            aware.circuit, backend.calibration, include_decoherence=False
+        )
+        esp_blind = estimated_success_probability(
+            blind.circuit, backend.calibration, include_decoherence=False
+        )
+        rows.append(
+            [
+                name,
+                aware.swap_count,
+                blind.swap_count,
+                round(esp_aware, 4),
+                round(esp_blind, 4),
+            ]
+        )
+    return rows
+
+
+def test_ablation_noise_aware(benchmark):
+    rows = once(benchmark, _rows)
+    emit(
+        "ablation_noise_aware",
+        format_table(
+            ["benchmark", "swaps aware", "swaps blind", "ESP aware", "ESP blind"],
+            rows,
+            title="Ablation: noise-aware placement in SR-CaQR (higher ESP is better)",
+        ),
+    )
+    # the knob must actually matter: some benchmark compiles differently
+    differing = sum(
+        1 for row in rows if row[1] != row[2] or abs(row[3] - row[4]) > 1e-9
+    )
+    assert differing >= 1, rows
+    # and on the connectivity-starved star circuits both modes reach the
+    # SWAP-free compilation (reuse makes placement error-tolerant)
+    for name in ("bv_10", "cc_10", "xor_5"):
+        row = next(r for r in rows if r[0] == name)
+        assert row[1] == row[2] == 0, row

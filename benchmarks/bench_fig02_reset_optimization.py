@@ -1,0 +1,52 @@
+"""Paper Fig. 2: measure + reset vs measure + classically-controlled X.
+
+The paper reports the built-in combination takes 33,179 dt on IBM Mumbai
+while the optimised form takes 16,467 dt — a ~50% duration saving.  This
+bench regenerates both numbers from the library's duration model and also
+shows the end-to-end effect on a reuse-transformed BV circuit.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.circuit import QuantumCircuit
+from repro.core import QSCaQR
+from repro.transpiler import circuit_duration_dt
+from repro.workloads import bv_circuit
+
+
+def _reset_durations():
+    builtin = QuantumCircuit(1, 1)
+    builtin.measure_and_reset(0, 0, style="builtin")
+    cif = QuantumCircuit(1, 1)
+    cif.measure_and_reset(0, 0, style="cif")
+    builtin_dt = circuit_duration_dt(builtin)
+    cif_dt = circuit_duration_dt(cif)
+
+    bv_builtin = QSCaQR(reset_style="builtin").reduce_to(bv_circuit(5), 2)
+    bv_cif = QSCaQR(reset_style="cif").reduce_to(bv_circuit(5), 2)
+    return builtin_dt, cif_dt, bv_builtin.duration_dt, bv_cif.duration_dt
+
+
+def test_fig02_reset_optimization(benchmark):
+    builtin_dt, cif_dt, bv_builtin, bv_cif = once(benchmark, _reset_durations)
+    saving = 1 - cif_dt / builtin_dt
+    rows = [
+        ["measure + reset (Fig. 2a)", builtin_dt, "33,179 dt"],
+        ["measure + c_if(X) (Fig. 2b)", cif_dt, "16,467 dt"],
+        ["BV_5 @ 2 qubits, builtin resets", bv_builtin, "-"],
+        ["BV_5 @ 2 qubits, c_if resets", bv_cif, "-"],
+    ]
+    emit(
+        "fig02_reset_optimization",
+        format_table(
+            ["operation", "duration (dt)", "paper"],
+            rows,
+            title=f"Reset optimisation: {saving:.1%} duration saving "
+            "(paper: ~50%)",
+        ),
+    )
+    # the paper's exact numbers are reproduced by construction
+    assert builtin_dt == 33179
+    assert cif_dt == 16467
+    assert bv_cif < bv_builtin

@@ -1,0 +1,50 @@
+"""Paper Fig. 13: regular applications — logical depth and compiled depth
+as functions of the qubit budget (Multiply_13, System_9, BV_10).
+
+Shape checks: logical depth rises monotonically as qubits shrink, while
+the *compiled* depth first stays flat or dips (reuse relieves SWAP
+pressure) before rising when saving becomes too aggressive — so the
+minimum compiled depth sits at an intermediate budget ("the sweet spot is
+usually in the middle").
+"""
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.core import sweep_regular
+from repro.hardware import ibm_mumbai
+from repro.workloads import regular_benchmark
+
+BENCHMARKS = ["multiply_13", "system_9", "bv_10"]
+
+
+def _sweeps():
+    backend = ibm_mumbai()
+    return {
+        name: sweep_regular(regular_benchmark(name), backend=backend, seed=13)
+        for name in BENCHMARKS
+    }
+
+
+def test_fig13_regular_tradeoff(benchmark):
+    sweeps = once(benchmark, _sweeps)
+    sections = []
+    for name, points in sweeps.items():
+        sections.append(
+            format_table(
+                ["qubits", "logical depth", "compiled depth", "swaps"],
+                [
+                    [p.qubits, p.logical_depth, p.compiled_depth, p.swap_count]
+                    for p in points
+                ],
+                title=f"{name}",
+            )
+        )
+    emit("fig13_regular_tradeoff", "\n\n".join(sections))
+
+    for name, points in sweeps.items():
+        logical = [p.logical_depth for p in points]
+        assert all(b >= a for a, b in zip(logical, logical[1:])), name
+        assert points[-1].qubits < points[0].qubits, name
+    # BV_10 reaches the 2-qubit floor
+    assert sweeps["bv_10"][-1].qubits == 2

@@ -1,0 +1,60 @@
+"""Paper Fig. 14: QAOA tradeoff curves for n in {16, 32, 128}, both graph
+families, density 0.30 (the 64-qubit case is Fig. 3 / its own bench).
+
+Shape checks: every instance admits reuse, the power-law instances
+compress further than the random ones at every size, and depth rises as
+qubits shrink.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import format_series
+from repro.core import QSCaQRCommuting
+from repro.workloads import power_law_graph, random_graph
+
+SIZES = [16, 32, 128]
+DENSITY = 0.30
+SEED = 7
+
+
+def _sweep(graph, stride):
+    compiler = QSCaQRCommuting(graph)
+    floor = compiler.lifetime_floor()
+    n = graph.number_of_nodes()
+    budgets = sorted(set(list(range(n, floor - 1, -stride)) + [floor]), reverse=True)
+    return compiler.lifetime_sweep(budgets=budgets)
+
+
+def _all_sweeps():
+    out = {}
+    for n in SIZES:
+        stride = 1 if n <= 32 else 8
+        out[("power-law", n)] = _sweep(power_law_graph(n, DENSITY, seed=SEED), stride)
+        out[("random", n)] = _sweep(random_graph(n, DENSITY, seed=SEED), stride)
+    return out
+
+
+def test_fig14_qaoa_tradeoff(benchmark):
+    sweeps = once(benchmark, _all_sweeps)
+    sections = []
+    for (family, n), points in sorted(sweeps.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        sections.append(
+            format_series(
+                f"QAOA-{n} {family} (density {DENSITY})",
+                [p.qubits for p in points],
+                [p.depth for p in points],
+                "qubits",
+                "depth",
+            )
+        )
+    emit("fig14_qaoa_tradeoff", "\n\n".join(sections))
+
+    for n in SIZES:
+        pl = sweeps[("power-law", n)]
+        rnd = sweeps[("random", n)]
+        # reuse exists everywhere
+        assert pl[-1].qubits < n and rnd[-1].qubits < n
+        # power-law compresses at least as deep as random (relative)
+        assert pl[-1].qubits / n <= rnd[-1].qubits / n + 1e-9
+        # depth grows as qubits shrink
+        assert pl[-1].depth >= pl[0].depth

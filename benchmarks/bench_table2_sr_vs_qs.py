@@ -1,0 +1,94 @@
+"""Paper Table 2: SR-CaQR vs QS-CaQR(MIN-SWAP) — SWAP count and duration.
+
+For fairness (as in the paper) the QS side exhausts every qubit-saving
+count and keeps the version with the fewest SWAPs after hardware mapping;
+the SR side routes directly with reuse-aware lazy mapping.  Both target
+the IBM Mumbai architecture.
+
+Shape checks: SR-CaQR matches or beats QS-CaQR(MIN-SWAP) in SWAPs on most
+benchmarks, and strictly beats it somewhere (paper: "for all regular
+applications SR-CaQR has the same or better SWAP gate count").
+"""
+
+from conftest import emit, once
+
+from repro.analysis import collect_metrics, format_table
+from repro.core import SRCaQR, SRCaQRCommuting, select_point, sweep_commuting, sweep_regular
+from repro.hardware import ibm_mumbai
+from repro.workloads import random_graph, regular_benchmark
+
+REGULAR = ["rd_32", "4mod5", "multiply_13", "system_9", "bv_10", "cc_10", "xor_5"]
+QAOA_SIZES = [5, 10, 15, 20]
+DENSITY = 0.30
+
+
+def _rows():
+    backend = ibm_mumbai()
+    rows = []
+    for name in REGULAR:
+        circuit = regular_benchmark(name)
+        qs_points = sweep_regular(circuit, backend=backend, seed=19)
+        qs = select_point(qs_points, "min_swap")
+        sr = SRCaQR(backend).run(circuit)
+        rows.append(
+            [
+                name,
+                qs.swap_count,
+                qs.compiled_duration_dt,
+                sr.swap_count,
+                sr.duration_dt,
+                collect_metrics(sr.circuit).reuse_resets,
+            ]
+        )
+    for n in QAOA_SIZES:
+        graph = random_graph(n, DENSITY, seed=7)
+        evaluation = "schedule" if n <= 15 else "degree"
+        qs_points = sweep_commuting(
+            graph, backend=backend, seed=19, candidate_evaluation=evaluation
+        )
+        qs = select_point(qs_points, "min_swap")
+        sr = SRCaQRCommuting(backend).run(graph)
+        rows.append(
+            [
+                f"qaoa{n}-0.3",
+                qs.swap_count,
+                qs.compiled_duration_dt,
+                sr.swap_count,
+                sr.duration_dt,
+                collect_metrics(sr.circuit).reuse_resets,
+            ]
+        )
+    return rows
+
+
+def test_table2_sr_vs_qs(benchmark):
+    rows = once(benchmark, _rows)
+    emit(
+        "table2_sr_vs_qs",
+        format_table(
+            [
+                "benchmark",
+                "QS swaps",
+                "QS duration",
+                "SR swaps",
+                "SR duration",
+                "SR reuses",
+            ],
+            rows,
+            title="Table 2: SR-CaQR vs QS-CaQR (MIN-SWAP) on IBM Mumbai",
+        ),
+    )
+    swap_not_worse = sum(1 for row in rows if row[3] <= row[1])
+    swap_strictly_better = sum(1 for row in rows if row[3] < row[1])
+    duration_better = sum(1 for row in rows if row[4] < row[2])
+    reuse_happened = sum(1 for row in rows if row[5] > 0)
+    # Reproduced shape: SR ties or beats QS(MIN-SWAP) on the reuse-rich
+    # benchmarks (star-shaped interaction graphs, sparse QAOA) and wins
+    # duration nearly everywhere thanks to lazy scheduling + reuse.  Our
+    # SABRE-L3 baseline out-routes SR on the dense arithmetic circuits —
+    # a deviation from the paper's "same or better everywhere" recorded
+    # in EXPERIMENTS.md.
+    assert swap_not_worse >= len(rows) // 2, rows
+    assert swap_strictly_better >= 1, rows
+    assert duration_better >= 0.7 * len(rows), rows
+    assert reuse_happened >= 3, rows

@@ -1,0 +1,82 @@
+"""Paper Table 3: TVD on the (simulated) real machine — baseline vs SR-CaQR.
+
+For each benchmark the ideal output distribution comes from a noiseless
+run of the logical circuit; the baseline is the L3-transpiled circuit and
+the contender the SR-CaQR-compiled circuit, both sampled under the
+synthetic Mumbai noise model (per-link CX errors + readout errors).
+
+Shape check: SR-CaQR improves (lowers) TVD on at least two of the three
+benchmarks and on the mean, mirroring the paper's Table 3 direction
+(0.76->0.61, 0.64->0.48, 0.61->0.44).  multiply_13 sits in our noise
+model's saturated regime (TVD ~0.87) where baseline and SR tie within
+shot noise — recorded as a deviation in EXPERIMENTS.md.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.core import SRCaQR
+from repro.hardware import ibm_mumbai
+from repro.sim import run_counts, run_physical_counts, total_variation_distance
+from repro.transpiler import transpile
+from repro.workloads import regular_benchmark
+
+BENCHMARKS = ["bv_10", "multiply_13", "cc_10"]
+SHOTS = 384
+
+
+def _project(counts, width):
+    out = {}
+    for key, value in counts.items():
+        out[key[:width]] = out.get(key[:width], 0) + value
+    return out
+
+
+def _rows():
+    backend = ibm_mumbai()
+    rows = []
+    for name in BENCHMARKS:
+        circuit = regular_benchmark(name)
+        width = circuit.num_clbits
+        ideal = _project(run_counts(circuit, shots=2048, seed=3), width)
+
+        baseline = transpile(circuit, backend, optimization_level=3, seed=23)
+        baseline_counts = run_physical_counts(
+            baseline.circuit, backend, shots=SHOTS, seed=5, relaxation=False
+        )
+        sr = SRCaQR(backend).run(circuit, objective="esp")
+        sr_counts = run_physical_counts(
+            sr.circuit, backend, shots=SHOTS, seed=5, relaxation=False
+        )
+        tvd_baseline = total_variation_distance(
+            _project(baseline_counts, width), ideal
+        )
+        tvd_sr = total_variation_distance(_project(sr_counts, width), ideal)
+        rows.append(
+            [
+                name,
+                round(tvd_baseline, 3),
+                round(tvd_sr, 3),
+                baseline.swap_count,
+                sr.swap_count,
+            ]
+        )
+    return rows
+
+
+def test_table3_tvd(benchmark):
+    rows = once(benchmark, _rows)
+    emit(
+        "table3_tvd",
+        format_table(
+            ["benchmark", "TVD baseline", "TVD SR-CaQR", "swaps base", "swaps SR"],
+            rows,
+            title="Table 3: TVD under Mumbai noise (lower is better; paper: "
+            "SR-CaQR improves all three)",
+        ),
+    )
+    improved = sum(1 for row in rows if row[2] < row[1])
+    mean_baseline = sum(row[1] for row in rows) / len(rows)
+    mean_sr = sum(row[2] for row in rows) / len(rows)
+    assert improved >= 2, rows
+    assert mean_sr < mean_baseline, rows

@@ -1,0 +1,54 @@
+"""Explore the qubit / depth / SWAP tradeoff across benchmark circuits.
+
+For each regular benchmark the explorer prints the hardware-mapped sweep
+(the data behind paper Fig. 13 and Table 1) plus the reuse-benefit verdict,
+then shows the three user-selectable operating points: baseline, maximal
+reuse, and minimal depth.
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+from repro.core import assess_reuse_benefit, select_point, sweep_regular
+from repro.analysis import format_percent, format_table
+from repro.hardware import ibm_mumbai
+from repro.workloads import regular_benchmark
+
+BENCHMARKS = ["bv_10", "xor_5", "4mod5", "system_9"]
+
+
+def explore(name: str) -> None:
+    backend = ibm_mumbai()
+    circuit = regular_benchmark(name)
+    points = sweep_regular(circuit, backend=backend)
+
+    print("=" * 70)
+    print(f"{name}: {circuit.num_qubits} qubits, "
+          f"{circuit.two_qubit_gate_count()} two-qubit gates")
+    print("=" * 70)
+    print(format_table(
+        ["qubits", "logical depth", "compiled depth", "duration(dt)", "swaps"],
+        [
+            [p.qubits, p.logical_depth, p.compiled_depth,
+             p.compiled_duration_dt, p.swap_count]
+            for p in points
+        ],
+    ))
+
+    report = assess_reuse_benefit(points)
+    print(f"\nbenefit: {report.beneficial}  "
+          f"(max saving {format_percent(report.saving_fraction)}, "
+          f"knee at {report.knee_qubits} qubits with "
+          f"{format_percent(report.knee_depth_overhead)} depth overhead)")
+
+    rows = []
+    for mode in ("baseline", "max_reuse", "min_depth"):
+        point = select_point(points, mode)
+        rows.append([mode, point.qubits, point.compiled_depth, point.swap_count])
+    print()
+    print(format_table(["selection", "qubits", "depth", "swaps"], rows))
+    print()
+
+
+if __name__ == "__main__":
+    for benchmark in BENCHMARKS:
+        explore(benchmark)

@@ -1,0 +1,20 @@
+"""repro — a reproduction of CaQR (ASPLOS 2023): compiler-assisted qubit
+reuse through dynamic circuits.
+
+Public entry points:
+
+* :class:`repro.circuit.QuantumCircuit` — the circuit IR with dynamic ops.
+* :func:`repro.circuit.parse_qasm` / :func:`repro.circuit.to_qasm`.
+* :mod:`repro.core` — the CaQR passes (``QSCaQR``, ``SRCaQR`` and the
+  commuting-gate variants) plus the tradeoff explorer.
+* :func:`repro.transpiler.transpile` — the SABRE-based baseline pipeline.
+* :mod:`repro.sim` — noisy dynamic-circuit simulation and metrics.
+* :mod:`repro.workloads` — the paper's benchmark circuits.
+"""
+
+__version__ = "1.0.0"
+
+from repro.circuit import QuantumCircuit
+from repro.compile_api import CompileReport, caqr_compile
+
+__all__ = ["QuantumCircuit", "caqr_compile", "CompileReport", "__version__"]

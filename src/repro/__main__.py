@@ -1,0 +1,186 @@
+"""Command-line interface: compile OpenQASM files with qubit reuse.
+
+Usage examples::
+
+    python -m repro compile circuit.qasm --mode max_reuse
+    python -m repro compile circuit.qasm --mode min_swap --backend mumbai \
+        --output compiled.qasm --draw
+    python -m repro sweep circuit.qasm
+    python -m repro benchmarks            # list bundled benchmark names
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.analysis import format_table
+from repro.circuit import parse_qasm, to_qasm
+from repro.compile_api import caqr_compile
+from repro.core import assess_reuse_benefit, sweep_regular
+from repro.exceptions import ReproError
+from repro.hardware import Backend, backend_from_json, ibm_mumbai
+from repro.workloads import benchmark_names, get_benchmark, qasm_benchmark_names
+
+__all__ = ["main"]
+
+
+def _load_backend(spec: Optional[str]) -> Optional[Backend]:
+    if spec is None:
+        return None
+    if spec == "mumbai":
+        return ibm_mumbai()
+    with open(spec) as handle:
+        return backend_from_json(handle.read())
+
+
+def _load_circuit(path: str):
+    if path.endswith(".qasm"):
+        with open(path) as handle:
+            return parse_qasm(handle.read())
+    # convenience: bundled benchmark names work in place of files
+    return get_benchmark(path)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    backend = _load_backend(args.backend)
+    report = caqr_compile(
+        circuit,
+        backend=backend,
+        mode=args.mode,
+        qubit_limit=args.qubit_limit,
+        reset_style=args.reset_style,
+    )
+    metrics = report.metrics
+    rows = [
+        ["qubits used", metrics.qubits_used],
+        ["depth", metrics.depth],
+        ["duration (dt)", metrics.duration_dt],
+        ["SWAPs", metrics.swap_count],
+        ["2Q gates", metrics.two_qubit_count],
+        ["reuse resets", metrics.reuse_resets],
+        ["qubit saving", f"{report.qubit_saving:.0%}"],
+        ["reuse beneficial", report.reuse_beneficial],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"mode={report.mode}"))
+    if args.draw:
+        print()
+        print(report.circuit.draw())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(to_qasm(report.circuit))
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    backend = _load_backend(args.backend)
+    from repro.core import sweep_commuting
+    from repro.core.structure import extract_commuting_structure
+
+    structure = extract_commuting_structure(circuit)
+    if (
+        structure is not None
+        and structure.uniform_gamma() is not None
+        and structure.uniform_beta() is not None
+    ):
+        print("(recognised a commuting QAOA circuit — using the "
+              "commuting-gate pipeline)\n")
+        points = sweep_commuting(
+            structure.graph,
+            backend=backend,
+            gamma=structure.uniform_gamma(),
+            beta=structure.uniform_beta(),
+        )
+    else:
+        points = sweep_regular(circuit, backend=backend)
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                point.qubits,
+                point.logical_depth,
+                point.compiled_depth if point.compiled_depth is not None else "-",
+                point.swap_count if point.swap_count is not None else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["qubits", "logical depth", "compiled depth", "swaps"],
+            rows,
+            title=f"qubit-reuse tradeoff sweep: {args.circuit}",
+        )
+    )
+    report = assess_reuse_benefit(points)
+    print(
+        f"\nreuse beneficial: {report.beneficial} "
+        f"(floor {report.minimum_qubits} qubits, "
+        f"max saving {report.saving_fraction:.0%})"
+    )
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    print("regular benchmarks:", ", ".join(benchmark_names()))
+    print("QASM assets:", ", ".join(qasm_benchmark_names()))
+    print("QAOA instances: qaoa<N>-<density>, e.g. qaoa10-0.3")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CaQR: compile quantum circuits with qubit reuse "
+        "through dynamic circuits",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="compile one circuit")
+    compile_parser.add_argument(
+        "circuit", help="OpenQASM 2 file (*.qasm) or bundled benchmark name"
+    )
+    compile_parser.add_argument(
+        "--mode",
+        default="min_depth",
+        choices=["qubit_budget", "max_reuse", "min_depth", "min_swap"],
+    )
+    compile_parser.add_argument("--qubit-limit", type=int, default=None)
+    compile_parser.add_argument(
+        "--backend",
+        default=None,
+        help='"mumbai" or a backend-JSON file (required for min_swap)',
+    )
+    compile_parser.add_argument(
+        "--reset-style", default="cif", choices=["cif", "builtin"]
+    )
+    compile_parser.add_argument("--output", default=None, help="write QASM here")
+    compile_parser.add_argument(
+        "--draw", action="store_true", help="print the ASCII circuit"
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    sweep_parser = sub.add_parser("sweep", help="print the tradeoff sweep")
+    sweep_parser.add_argument("circuit")
+    sweep_parser.add_argument("--backend", default=None)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    benchmarks_parser = sub.add_parser("benchmarks", help="list bundled circuits")
+    benchmarks_parser.set_defaults(func=_cmd_benchmarks)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Circuit metric extraction shared by tests, examples, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.calibration import Calibration
+from repro.transpiler.scheduling import circuit_duration_dt
+
+__all__ = ["CircuitMetrics", "collect_metrics"]
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """The metric set the paper reports per compiled circuit (Section 4.1)."""
+
+    qubits_used: int
+    depth: int
+    duration_dt: int
+    swap_count: int
+    two_qubit_count: int
+    gate_count: int
+    reuse_resets: int
+
+    def as_row(self):
+        """Row tuple for :func:`repro.analysis.reporting.format_table`."""
+        return (
+            self.qubits_used,
+            self.depth,
+            self.duration_dt,
+            self.swap_count,
+            self.two_qubit_count,
+        )
+
+
+def collect_metrics(
+    circuit: QuantumCircuit, calibration: Optional[Calibration] = None
+) -> CircuitMetrics:
+    """Extract the paper's metric set from a circuit.
+
+    ``reuse_resets`` counts the dynamic-circuit reset idioms present
+    (classically conditioned X gates plus built-in resets) — a direct
+    measure of how many reuses the compiler inserted.
+    """
+    resets = sum(
+        1
+        for instruction in circuit.data
+        if instruction.name == "reset"
+        or (instruction.name == "x" and instruction.condition is not None)
+    )
+    return CircuitMetrics(
+        qubits_used=circuit.num_used_qubits(),
+        depth=circuit.depth(),
+        duration_dt=circuit_duration_dt(circuit, calibration),
+        swap_count=circuit.swap_count(),
+        two_qubit_count=circuit.two_qubit_gate_count(),
+        gate_count=circuit.size(),
+        reuse_resets=resets,
+    )

@@ -1,0 +1,52 @@
+"""Plain-text tables and series for the experiment harness.
+
+The benchmark modules print paper-style tables (Tables 1-3) and figure
+series (Figs. 3, 13-16) through these helpers so every experiment's output
+reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_percent"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], x_label: str, y_label: str
+) -> str:
+    """Render a figure series as aligned (x, y) pairs."""
+    lines = [f"{name}  [{x_label} vs {y_label}]"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_cell(x):>10}  {_cell(y)}")
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    """0.37 -> '37.0%'."""
+    return f"{100 * value:.1f}%"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,21 @@
+"""Applications: max-cut utilities and the end-to-end QAOA runner."""
+
+from repro.apps.maxcut import best_cut_brute_force, cut_value, expected_cut_from_counts
+from repro.apps.qaoa_runner import (
+    QAOATrace,
+    baseline_factory,
+    run_qaoa,
+    sr_caqr_factory,
+    transpiled_factory,
+)
+
+__all__ = [
+    "cut_value",
+    "expected_cut_from_counts",
+    "best_cut_brute_force",
+    "QAOATrace",
+    "run_qaoa",
+    "baseline_factory",
+    "transpiled_factory",
+    "sr_caqr_factory",
+]

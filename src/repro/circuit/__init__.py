@@ -1,0 +1,30 @@
+"""Circuit intermediate representation: gates, instructions, circuits, QASM."""
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import (
+    GATES,
+    GateSpec,
+    default_duration,
+    gate_matrix,
+    gate_spec,
+    is_directive,
+    is_two_qubit_gate,
+    is_unitary_gate,
+)
+from repro.circuit.instruction import Instruction
+from repro.circuit.qasm import parse_qasm, to_qasm
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "GATES",
+    "GateSpec",
+    "gate_spec",
+    "gate_matrix",
+    "default_duration",
+    "is_unitary_gate",
+    "is_two_qubit_gate",
+    "is_directive",
+    "parse_qasm",
+    "to_qasm",
+]

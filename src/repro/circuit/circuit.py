@@ -1,0 +1,416 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit owns ``num_qubits`` quantum wires and ``num_clbits`` classical
+bits and holds an ordered list of :class:`~repro.circuit.instruction.
+Instruction` objects.  It supports the dynamic-circuit operations at the
+heart of the paper: mid-circuit measurement, reset, and classically
+conditioned gates, plus the ``measure_and_reset`` idiom (measure followed by
+a classically controlled X) that the paper shows halves reset duration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuit.instruction import Instruction
+from repro.exceptions import CircuitError
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered list of instructions over integer-indexed wires.
+
+    Args:
+        num_qubits: number of quantum wires.
+        num_clbits: number of classical bits (defaults to 0).
+        name: optional circuit name used in QASM output and reports.
+    """
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "circuit"):
+        if num_qubits < 0 or num_clbits < 0:
+            raise CircuitError("wire counts must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self.name = name
+        self.data: List[Instruction] = []
+
+    # -- wire management ------------------------------------------------------
+
+    def _check_qubits(self, qubits: Iterable[int]) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+
+    def _check_clbits(self, clbits: Iterable[int]) -> None:
+        for c in clbits:
+            if not 0 <= c < self.num_clbits:
+                raise CircuitError(
+                    f"clbit {c} out of range for {self.num_clbits}-clbit circuit"
+                )
+
+    def add_qubits(self, count: int) -> None:
+        """Append *count* fresh quantum wires."""
+        if count < 0:
+            raise CircuitError("cannot add a negative number of qubits")
+        self.num_qubits += count
+
+    def add_clbits(self, count: int) -> None:
+        """Append *count* fresh classical bits."""
+        if count < 0:
+            raise CircuitError("cannot add a negative number of clbits")
+        self.num_clbits += count
+
+    # -- building -------------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> Instruction:
+        """Validate wire indices and append *instruction*; return it."""
+        self._check_qubits(instruction.qubits)
+        self._check_clbits(instruction.clbits)
+        if instruction.condition is not None:
+            self._check_clbits([instruction.condition[0]])
+        self.data.append(instruction)
+        return instruction
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append every instruction from the iterable."""
+        for instruction in instructions:
+            self.append(instruction)
+
+    def _gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> Instruction:
+        return self.append(
+            Instruction(name=name, qubits=tuple(qubits), params=tuple(params))
+        )
+
+    # one method per registered gate; each returns the Instruction so the
+    # caller can chain ``.c_if(c, v)``.
+
+    def id(self, qubit: int) -> Instruction:
+        return self._gate("id", (qubit,))
+
+    def x(self, qubit: int) -> Instruction:
+        return self._gate("x", (qubit,))
+
+    def y(self, qubit: int) -> Instruction:
+        return self._gate("y", (qubit,))
+
+    def z(self, qubit: int) -> Instruction:
+        return self._gate("z", (qubit,))
+
+    def h(self, qubit: int) -> Instruction:
+        return self._gate("h", (qubit,))
+
+    def s(self, qubit: int) -> Instruction:
+        return self._gate("s", (qubit,))
+
+    def sdg(self, qubit: int) -> Instruction:
+        return self._gate("sdg", (qubit,))
+
+    def t(self, qubit: int) -> Instruction:
+        return self._gate("t", (qubit,))
+
+    def tdg(self, qubit: int) -> Instruction:
+        return self._gate("tdg", (qubit,))
+
+    def sx(self, qubit: int) -> Instruction:
+        return self._gate("sx", (qubit,))
+
+    def sxdg(self, qubit: int) -> Instruction:
+        return self._gate("sxdg", (qubit,))
+
+    def rx(self, theta: float, qubit: int) -> Instruction:
+        return self._gate("rx", (qubit,), (theta,))
+
+    def ry(self, theta: float, qubit: int) -> Instruction:
+        return self._gate("ry", (qubit,), (theta,))
+
+    def rz(self, theta: float, qubit: int) -> Instruction:
+        return self._gate("rz", (qubit,), (theta,))
+
+    def p(self, lam: float, qubit: int) -> Instruction:
+        return self._gate("p", (qubit,), (lam,))
+
+    def u(self, theta: float, phi: float, lam: float, qubit: int) -> Instruction:
+        return self._gate("u", (qubit,), (theta, phi, lam))
+
+    def cx(self, control: int, target: int) -> Instruction:
+        return self._gate("cx", (control, target))
+
+    def cy(self, control: int, target: int) -> Instruction:
+        return self._gate("cy", (control, target))
+
+    def cz(self, control: int, target: int) -> Instruction:
+        return self._gate("cz", (control, target))
+
+    def cp(self, lam: float, control: int, target: int) -> Instruction:
+        return self._gate("cp", (control, target), (lam,))
+
+    def crz(self, theta: float, control: int, target: int) -> Instruction:
+        return self._gate("crz", (control, target), (theta,))
+
+    def rzz(self, theta: float, qubit1: int, qubit2: int) -> Instruction:
+        return self._gate("rzz", (qubit1, qubit2), (theta,))
+
+    def swap(self, qubit1: int, qubit2: int) -> Instruction:
+        return self._gate("swap", (qubit1, qubit2))
+
+    def ccx(self, control1: int, control2: int, target: int) -> Instruction:
+        return self._gate("ccx", (control1, control2, target))
+
+    def delay(self, duration_dt: float, qubit: int) -> Instruction:
+        return self._gate("delay", (qubit,), (duration_dt,))
+
+    # -- non-unitary / dynamic-circuit operations ------------------------------
+
+    def measure(self, qubit: int, clbit: int) -> Instruction:
+        """Measure *qubit* into *clbit* (mid-circuit measurement allowed)."""
+        return self.append(
+            Instruction(name="measure", qubits=(qubit,), clbits=(clbit,))
+        )
+
+    def measure_all(self) -> None:
+        """Measure every qubit into the same-index classical bit.
+
+        Grows the classical register if it is too small.
+        """
+        if self.num_clbits < self.num_qubits:
+            self.add_clbits(self.num_qubits - self.num_clbits)
+        for q in range(self.num_qubits):
+            self.measure(q, q)
+
+    def reset(self, qubit: int) -> Instruction:
+        """Built-in reset (contains an implicit measurement pulse)."""
+        return self.append(Instruction(name="reset", qubits=(qubit,)))
+
+    def barrier(self, *qubits: int) -> Instruction:
+        """Ordering barrier across *qubits* (all qubits when none given)."""
+        qs = tuple(qubits) if qubits else tuple(range(self.num_qubits))
+        return self.append(Instruction(name="barrier", qubits=qs))
+
+    def measure_and_reset(self, qubit: int, clbit: int, style: str = "cif") -> None:
+        """Measure *qubit* into *clbit* and return the wire to ``|0>``.
+
+        This is the paper's reuse primitive (Section 2.1).  Two styles:
+
+        * ``"cif"`` (default): measure + X conditioned on the outcome —
+          the optimised form the paper shows takes ~half the time.
+        * ``"builtin"``: measure + built-in reset, the naive form.
+        """
+        self.measure(qubit, clbit)
+        if style == "cif":
+            self.x(qubit).c_if(clbit, 1)
+        elif style == "builtin":
+            self.reset(qubit)
+        else:
+            raise CircuitError(f"unknown measure_and_reset style: {style!r}")
+
+    # -- composition ------------------------------------------------------------
+
+    def compose(
+        self,
+        other: "QuantumCircuit",
+        qubits: Optional[Sequence[int]] = None,
+        clbits: Optional[Sequence[int]] = None,
+    ) -> "QuantumCircuit":
+        """Return a new circuit with *other* appended onto this one.
+
+        Args:
+            other: circuit to append.
+            qubits: for each of *other*'s qubits, the wire of ``self`` it
+                maps onto (identity when omitted).
+            clbits: same for classical bits.
+        """
+        if qubits is None:
+            qubits = list(range(other.num_qubits))
+        if clbits is None:
+            clbits = list(range(other.num_clbits))
+        if len(qubits) != other.num_qubits:
+            raise CircuitError("qubit mapping length mismatch in compose")
+        if len(clbits) != other.num_clbits:
+            raise CircuitError("clbit mapping length mismatch in compose")
+        out = self.copy()
+        qmap = dict(enumerate(qubits))
+        cmap = dict(enumerate(clbits))
+        for instruction in other.data:
+            out.append(instruction.remapped(qmap, cmap))
+        return out
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Deep-enough copy: new instruction objects, same wire counts."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        out.data = [instruction.copy() for instruction in self.data]
+        return out
+
+    def compacted(self) -> "QuantumCircuit":
+        """Drop idle wires: renumber used qubits onto ``0..k-1``.
+
+        Useful for simulating device-width physical circuits that only
+        touch a few wires.  Classical bits are untouched.
+        """
+        used = self.used_qubits()
+        mapping = {q: i for i, q in enumerate(used)}
+        return self.remap_qubits(mapping, num_qubits=len(used))
+
+    def remap_qubits(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a copy with qubit wires renamed through *mapping*.
+
+        Args:
+            mapping: total mapping over the qubits actually used.
+            num_qubits: wire count of the result (defaults to current).
+        """
+        out = QuantumCircuit(
+            num_qubits if num_qubits is not None else self.num_qubits,
+            self.num_clbits,
+            self.name,
+        )
+        for instruction in self.data:
+            out.append(instruction.remapped(mapping, None))
+        return out
+
+    # -- analysis ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.data)
+
+    def size(self) -> int:
+        """Number of non-directive instructions."""
+        return sum(1 for instruction in self.data if not instruction.is_directive())
+
+    def width(self) -> int:
+        """Total wires (quantum + classical)."""
+        return self.num_qubits + self.num_clbits
+
+    def count_ops(self) -> Counter:
+        """Histogram of instruction names."""
+        return Counter(instruction.name for instruction in self.data)
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of unitary two-qubit gates (the paper's 2Q-count metric)."""
+        return sum(1 for instruction in self.data if instruction.is_two_qubit())
+
+    def swap_count(self) -> int:
+        """Number of explicit SWAP gates."""
+        return sum(1 for instruction in self.data if instruction.name == "swap")
+
+    def depth(self, weight_fn: Optional[Callable[[Instruction], int]] = None) -> int:
+        """Circuit depth by wire-collision levelling.
+
+        Args:
+            weight_fn: optional per-instruction weight; defaults to 1 per
+                non-directive instruction (classic depth).  Pass
+                ``lambda i: i.duration_dt()`` for a duration estimate.
+        """
+        level: Dict[Tuple[str, int], int] = {}
+        maximum = 0
+        for instruction in self.data:
+            wires = [("q", q) for q in instruction.qubits]
+            wires += [("c", c) for c in instruction.clbits]
+            if instruction.condition is not None:
+                wires.append(("c", instruction.condition[0]))
+            start = max((level.get(w, 0) for w in wires), default=0)
+            if instruction.is_directive():
+                weight = 0
+            elif weight_fn is not None:
+                weight = weight_fn(instruction)
+            else:
+                weight = 1
+            finish = start + weight
+            for w in wires:
+                level[w] = finish
+            maximum = max(maximum, finish)
+        return maximum
+
+    def duration_dt(self) -> int:
+        """Depth weighted by default gate durations, in dt cycles."""
+        return self.depth(weight_fn=lambda instruction: instruction.duration_dt())
+
+    def used_qubits(self) -> List[int]:
+        """Qubits touched by at least one instruction, ascending."""
+        used = set()
+        for instruction in self.data:
+            used.update(instruction.qubits)
+        return sorted(used)
+
+    def num_used_qubits(self) -> int:
+        """The paper's "qubit usage" metric: wires that carry operations."""
+        return len(self.used_qubits())
+
+    def qubit_instruction_indices(self) -> Dict[int, List[int]]:
+        """For each qubit, the ``self.data`` indices of its instructions."""
+        table: Dict[int, List[int]] = {q: [] for q in range(self.num_qubits)}
+        for idx, instruction in enumerate(self.data):
+            for q in instruction.qubits:
+                table[q].append(idx)
+        return table
+
+    def interaction_graph(self) -> nx.Graph:
+        """The qubit interaction graph G_int of Section 3.2.2.
+
+        Nodes are qubit indices; an edge joins two qubits whenever some
+        multi-qubit unitary acts on both.  Edge attribute ``count`` records
+        how many gates share the pair.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        for instruction in self.data:
+            if instruction.is_directive() or len(instruction.qubits) < 2:
+                continue
+            for i, a in enumerate(instruction.qubits):
+                for b in instruction.qubits[i + 1 :]:
+                    if graph.has_edge(a, b):
+                        graph[a][b]["count"] += 1
+                    else:
+                        graph.add_edge(a, b, count=1)
+        return graph
+
+    def has_dynamic_operations(self) -> bool:
+        """True when the circuit needs dynamic-circuit hardware support.
+
+        That is: any mid-circuit measurement, any reset, or any classically
+        conditioned gate.
+        """
+        seen_measure = set()
+        for instruction in self.data:
+            if instruction.name == "reset" or instruction.condition is not None:
+                return True
+            if instruction.name == "measure":
+                seen_measure.add(instruction.qubits[0])
+            elif any(q in seen_measure for q in instruction.qubits):
+                return True
+        return False
+
+    # -- equality / display -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self.num_clbits == other.num_clbits
+            and self.data == other.data
+        )
+
+    def draw(self, max_width: int = 120) -> str:
+        """ASCII rendering of the circuit (see :mod:`repro.circuit.drawer`)."""
+        from repro.circuit.drawer import draw as _draw
+
+        return _draw(self, max_width=max_width)
+
+    def __repr__(self) -> str:  # pragma: no cover - display convenience
+        return (
+            f"<QuantumCircuit {self.name!r}: {self.num_qubits} qubits, "
+            f"{self.num_clbits} clbits, {len(self.data)} instructions>"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        lines = [repr(self)]
+        lines.extend("  " + str(instruction) for instruction in self.data)
+        return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Plain-text circuit drawing.
+
+Renders a circuit as one row per quantum wire (plus one per classical
+bit), gates stacked into time columns by wire collision — the same
+levelling rule as :meth:`QuantumCircuit.depth`.  Dynamic-circuit
+operations render with the conventions the paper uses: ``M`` for
+measurement, ``|0>`` for reset, and ``X?c`` for a classically controlled
+X (the optimised reuse reset).
+
+Example (2-qubit reused BV)::
+
+    q0: -H--*--H--M--X?c0--H--*--H--M-
+    q1: -X--H-----|--X--------|--M----
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+
+__all__ = ["draw"]
+
+_SHORT_NAMES = {
+    "measure": "M",
+    "reset": "|0>",
+    "barrier": "|",
+    "id": "I",
+    "sdg": "Sdg",
+    "tdg": "Tdg",
+    "sxdg": "SXdg",
+}
+
+
+def _gate_label(instruction: Instruction, position: int) -> str:
+    """The symbol drawn on qubit *position* of the instruction."""
+    name = instruction.name
+    if name == "cx":
+        label = "*" if position == 0 else "X"
+    elif name in ("cz", "cp", "crz"):
+        label = "*" if position == 0 else _SHORT_NAMES.get(name, name.upper())
+    elif name == "ccx":
+        label = "*" if position < 2 else "X"
+    elif name == "swap":
+        label = "x"
+    elif name in _SHORT_NAMES:
+        label = _SHORT_NAMES[name]
+    elif instruction.params:
+        label = f"{name.upper()}({instruction.params[0]:.2g})"
+    else:
+        label = name.upper()
+    if instruction.condition is not None:
+        label += f"?c{instruction.condition[0]}"
+    return label
+
+
+def draw(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render *circuit* as ASCII art; long circuits wrap at *max_width*."""
+    columns: List[Dict[int, str]] = []
+    level: Dict[int, int] = {}
+    for instruction in circuit.data:
+        wires = list(instruction.qubits)
+        if instruction.condition is not None or instruction.clbits:
+            # serialise on all classical interactions: use a synthetic wire
+            wires.append(-1)
+        start = max((level.get(w, 0) for w in wires), default=0)
+        while len(columns) <= start:
+            columns.append({})
+        cells = columns[start]
+        for position, qubit in enumerate(instruction.qubits):
+            cells[qubit] = _gate_label(instruction, position)
+        # draw the vertical span of multi-qubit gates as '|' on crossed wires
+        if len(instruction.qubits) > 1 and not instruction.is_directive():
+            low = min(instruction.qubits)
+            high = max(instruction.qubits)
+            for crossed in range(low + 1, high):
+                if crossed not in instruction.qubits:
+                    cells.setdefault(crossed, "|")
+        for w in wires:
+            level[w] = start + 1
+
+    widths = [
+        max((len(cell) for cell in column.values()), default=1)
+        for column in columns
+    ]
+    lines = []
+    for q in range(circuit.num_qubits):
+        parts = [f"q{q}: "]
+        for column, width in zip(columns, widths):
+            cell = column.get(q, "")
+            parts.append("-" + cell.center(width, "-") + "-")
+        lines.append("".join(parts))
+    # wrap long rows
+    if lines and max(len(line) for line in lines) > max_width:
+        wrapped: List[str] = []
+        prefix = max(len(f"q{q}: ") for q in range(circuit.num_qubits))
+        body_width = max_width - prefix
+        length = max(len(line) for line in lines) - prefix
+        for offset in range(0, length, body_width):
+            for line in lines:
+                head, body = line[:prefix], line[prefix:]
+                wrapped.append(head + body[offset : offset + body_width])
+            wrapped.append("")
+        return "\n".join(wrapped).rstrip()
+    return "\n".join(lines)

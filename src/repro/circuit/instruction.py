@@ -1,0 +1,156 @@
+"""The :class:`Instruction` record: one operation applied to specific wires.
+
+Qubits and classical bits are plain integers indexing into the owning
+:class:`~repro.circuit.circuit.QuantumCircuit`.  An instruction may carry a
+classical *condition* ``(clbit, value)`` meaning "apply only when the given
+classical bit equals value" — this is how the paper's
+``measure + classically-controlled X`` reset replacement is expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.circuit import gates
+from repro.exceptions import CircuitError
+
+__all__ = ["Instruction"]
+
+
+@dataclass
+class Instruction:
+    """A gate or non-unitary operation bound to concrete wires.
+
+    Attributes:
+        name: gate name registered in :data:`repro.circuit.gates.GATES`.
+        qubits: qubit indices the operation acts on, in gate order
+            (control first for controlled gates).
+        clbits: classical bit indices written (only ``measure`` uses this).
+        params: float gate parameters (rotation angles, delay duration).
+        condition: optional ``(clbit, value)`` classical condition.
+        label: optional free-form annotation (used by CaQR to tag the
+            measure/reset operations it inserts for qubit reuse).
+    """
+
+    name: str
+    qubits: Tuple[int, ...] = ()
+    clbits: Tuple[int, ...] = ()
+    params: Tuple[float, ...] = ()
+    condition: Optional[Tuple[int, int]] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.qubits = tuple(self.qubits)
+        self.clbits = tuple(self.clbits)
+        self.params = tuple(self.params)
+        spec = gates.gate_spec(self.name)
+        if spec.num_qubits and len(self.qubits) != spec.num_qubits:
+            raise CircuitError(
+                f"{self.name} expects {spec.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if self.name == "barrier" and not self.qubits:
+            raise CircuitError("barrier needs at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubit in {self.name}: {self.qubits}")
+        if len(self.clbits) != spec.num_clbits:
+            raise CircuitError(
+                f"{self.name} expects {spec.num_clbits} clbits, "
+                f"got {len(self.clbits)}"
+            )
+        if len(self.params) != spec.num_params:
+            raise CircuitError(
+                f"{self.name} expects {spec.num_params} params, "
+                f"got {len(self.params)}"
+            )
+        if self.condition is not None:
+            clbit, value = self.condition
+            if value not in (0, 1):
+                raise CircuitError("condition value must be 0 or 1")
+            self.condition = (int(clbit), int(value))
+
+    # -- fluent conditioning -------------------------------------------------
+
+    def c_if(self, clbit: int, value: int) -> "Instruction":
+        """Attach a classical condition in place and return ``self``.
+
+        Mirrors the Qiskit idiom ``circ.x(0).c_if(c, 1)`` used by the paper
+        for the optimised conditional reset.
+        """
+        if value not in (0, 1):
+            raise CircuitError("condition value must be 0 or 1")
+        self.condition = (int(clbit), int(value))
+        return self
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def spec(self) -> gates.GateSpec:
+        """The static :class:`~repro.circuit.gates.GateSpec` of this op."""
+        return gates.gate_spec(self.name)
+
+    def is_unitary(self) -> bool:
+        """True for matrix-representable gates (no measure/reset/barrier)."""
+        return gates.is_unitary_gate(self.name)
+
+    def is_directive(self) -> bool:
+        """True for barriers (ordering-only directives)."""
+        return gates.is_directive(self.name)
+
+    def is_two_qubit(self) -> bool:
+        """True for unitary two-qubit gates."""
+        return gates.is_two_qubit_gate(self.name)
+
+    def duration_dt(self) -> int:
+        """Default duration in dt, including feed-forward latency when
+        classically conditioned."""
+        if self.name == "delay":
+            base = int(self.params[0])
+        else:
+            base = gates.default_duration(self.name)
+        if self.condition is not None:
+            base += gates.CONDITIONAL_LATENCY_DT
+        return base
+
+    # -- transformation helpers -------------------------------------------------
+
+    def remapped(self, qubit_map=None, clbit_map=None) -> "Instruction":
+        """Return a copy with wires translated through the given mappings.
+
+        Args:
+            qubit_map: mapping (dict or callable) from old to new qubit index.
+            clbit_map: mapping from old to new classical bit index.
+        """
+
+        def _lookup(mapping, idx):
+            if mapping is None:
+                return idx
+            if callable(mapping):
+                return mapping(idx)
+            return mapping[idx]
+
+        condition = self.condition
+        if condition is not None and clbit_map is not None:
+            condition = (_lookup(clbit_map, condition[0]), condition[1])
+        return replace(
+            self,
+            qubits=tuple(_lookup(qubit_map, q) for q in self.qubits),
+            clbits=tuple(_lookup(clbit_map, c) for c in self.clbits),
+            condition=condition,
+        )
+
+    def copy(self) -> "Instruction":
+        """Return an independent copy of this instruction."""
+        return replace(self)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        parts = [self.name]
+        if self.params:
+            parts.append("(" + ", ".join(f"{p:g}" for p in self.params) + ")")
+        parts.append(" q" + ",q".join(str(q) for q in self.qubits))
+        if self.clbits:
+            parts.append(" -> c" + ",c".join(str(c) for c in self.clbits))
+        if self.condition is not None:
+            parts.append(f" if c{self.condition[0]}=={self.condition[1]}")
+        return "".join(parts)

@@ -1,0 +1,65 @@
+"""Common circuit constructions used by tests and examples.
+
+These are generic building blocks (GHZ, QFT, random circuits live in
+:mod:`repro.circuit.random`); the paper's benchmark circuits live in
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+__all__ = ["ghz", "qft", "linear_entangler", "bell_pair"]
+
+
+def bell_pair() -> QuantumCircuit:
+    """A 2-qubit Bell state preparation."""
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def ghz(num_qubits: int, measure: bool = False) -> QuantumCircuit:
+    """An *n*-qubit GHZ state preparation (H then a CX chain)."""
+    if num_qubits < 1:
+        raise CircuitError("ghz needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    if measure:
+        for q in range(num_qubits):
+            circuit.measure(q, q)
+    return circuit
+
+
+def qft(num_qubits: int) -> QuantumCircuit:
+    """The textbook quantum Fourier transform (without final swaps)."""
+    if num_qubits < 1:
+        raise CircuitError("qft needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cp(angle, control, target)
+    return circuit
+
+
+def linear_entangler(num_qubits: int, layers: int = 1) -> QuantumCircuit:
+    """Alternating layers of RY rotations and nearest-neighbour CX gates."""
+    if num_qubits < 2:
+        raise CircuitError("linear_entangler needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"entangler_{num_qubits}x{layers}")
+    for layer in range(layers):
+        for q in range(num_qubits):
+            circuit.ry(0.1 * (layer + 1) * (q + 1), q)
+        for q in range(0, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+        for q in range(1, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+    return circuit

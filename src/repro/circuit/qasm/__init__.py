@@ -1,0 +1,6 @@
+"""OpenQASM 2.0 input/output for :class:`~repro.circuit.QuantumCircuit`."""
+
+from repro.circuit.qasm.exporter import to_qasm
+from repro.circuit.qasm.parser import parse_qasm
+
+__all__ = ["parse_qasm", "to_qasm"]

@@ -1,0 +1,74 @@
+"""Serialize a QuantumCircuit back to OpenQASM 2.0 text.
+
+The exporter emits a single ``q``/``c`` register pair.  Classically
+conditioned gates are written with the dynamic-circuit idiom
+``if (c<i> == v) gate ...`` using one single-bit creg per conditioned bit
+(QASM 2 conditions test whole registers, so each conditioned classical bit
+gets its own register named ``cc<i>``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.circuit import QuantumCircuit
+
+__all__ = ["to_qasm"]
+
+
+def _fmt_param(value: float) -> str:
+    return f"{value:.12g}"
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Return OpenQASM 2.0 text for *circuit*.
+
+    Conditioned classical bits are hoisted into dedicated single-bit
+    registers so the output round-trips through :func:`parse_qasm`.
+    """
+    conditioned_bits = sorted(
+        {
+            instruction.condition[0]
+            for instruction in circuit.data
+            if instruction.condition is not None
+        }
+    )
+    plain_bits = [c for c in range(circuit.num_clbits) if c not in conditioned_bits]
+    # map original clbit index -> (register name, index within register)
+    location: Dict[int, tuple] = {}
+    for i, c in enumerate(plain_bits):
+        location[c] = ("c", i)
+    for c in conditioned_bits:
+        location[c] = (f"cc{c}", 0)
+
+    lines: List[str] = ['OPENQASM 2.0;', 'include "qelib1.inc";']
+    if circuit.num_qubits:
+        lines.append(f"qreg q[{circuit.num_qubits}];")
+    if plain_bits:
+        lines.append(f"creg c[{len(plain_bits)}];")
+    for c in conditioned_bits:
+        lines.append(f"creg cc{c}[1];")
+
+    for instruction in circuit.data:
+        prefix = ""
+        if instruction.condition is not None:
+            clbit, value = instruction.condition
+            register, _ = location[clbit]
+            prefix = f"if ({register} == {value}) "
+        if instruction.name == "measure":
+            register, idx = location[instruction.clbits[0]]
+            lines.append(
+                f"{prefix}measure q[{instruction.qubits[0]}] -> {register}[{idx}];"
+            )
+            continue
+        if instruction.name == "barrier":
+            operands = ", ".join(f"q[{q}]" for q in instruction.qubits)
+            lines.append(f"barrier {operands};")
+            continue
+        name = instruction.name
+        params = ""
+        if instruction.params:
+            params = "(" + ", ".join(_fmt_param(p) for p in instruction.params) + ")"
+        operands = ", ".join(f"q[{q}]" for q in instruction.qubits)
+        lines.append(f"{prefix}{name}{params} {operands};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,84 @@
+"""A small tokenizer for OpenQASM 2.0 source text."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import QasmError
+
+__all__ = ["Token", "tokenize"]
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*"),
+    ("NUMBER", r"\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?"),
+    ("STRING", r'"[^"\n]*"'),
+    ("ARROW", r"->"),
+    ("EQ", r"=="),
+    ("ID", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("OP", r"[+\-*/^]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("SEMI", r";"),
+    ("COMMA", r","),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {
+    "OPENQASM",
+    "include",
+    "qreg",
+    "creg",
+    "gate",
+    "measure",
+    "reset",
+    "barrier",
+    "if",
+    "opaque",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line for error reporting."""
+
+    kind: str
+    value: str
+    line: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize OpenQASM 2 *text* into a list of :class:`Token`.
+
+    Comments and whitespace are dropped; keywords get their own token kind.
+
+    Raises:
+        QasmError: on any character that is not valid QASM 2.
+    """
+    return list(_iter_tokens(text))
+
+
+def _iter_tokens(text: str) -> Iterator[Token]:
+    line = 1
+    for match in _MASTER.finditer(text):
+        kind = match.lastgroup or "MISMATCH"
+        value = match.group()
+        if kind == "NEWLINE":
+            line += 1
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise QasmError(f"line {line}: unexpected character {value!r}")
+        if kind == "ID" and value in _KEYWORDS:
+            kind = "KEYWORD"
+        yield Token(kind, value, line)

@@ -1,0 +1,456 @@
+"""Recursive-descent parser turning OpenQASM 2.0 into a QuantumCircuit.
+
+Supported surface: ``OPENQASM 2.0``, ``include`` (ignored — the standard
+gate library is built in), multiple ``qreg``/``creg`` declarations (flattened
+into integer wire indices in declaration order), gate applications with
+parameter expressions (``pi``, arithmetic, unary minus, ``^``), register
+broadcasting (``h q;``), ``measure``/``reset``/``barrier``, single-bit
+``if (c == v)`` conditions, user-defined ``gate`` macros (inlined), and
+``opaque`` declarations (skipped).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GATES
+from repro.circuit.qasm.lexer import Token, tokenize
+from repro.exceptions import QasmError
+
+__all__ = ["parse_qasm"]
+
+# QASM names that map onto library gates, including legacy aliases.
+_DIRECT = {name: name for name in GATES if name not in ("delay",)}
+_DIRECT.update({"cnot": "cx", "iden": "id", "u3": "u", "u1": "p", "CX": "cx", "U": "u"})
+
+
+@dataclass
+class _GateMacro:
+    """A user-defined gate body to inline at each call site."""
+
+    params: List[str]
+    qubits: List[str]
+    body: List[Tuple[str, List["_Expr"], List[str]]] = field(default_factory=list)
+
+
+class _Expr:
+    """Parameter expression AST evaluated against a macro environment."""
+
+    def __init__(self, kind: str, value=None, children: Sequence["_Expr"] = ()):
+        self.kind = kind
+        self.value = value
+        self.children = list(children)
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        if self.kind == "num":
+            return float(self.value)
+        if self.kind == "name":
+            if self.value == "pi":
+                return math.pi
+            if self.value in env:
+                return env[self.value]
+            raise QasmError(f"unknown identifier in expression: {self.value!r}")
+        if self.kind == "neg":
+            return -self.children[0].evaluate(env)
+        if self.kind == "call":
+            fn = {
+                "sin": math.sin,
+                "cos": math.cos,
+                "tan": math.tan,
+                "exp": math.exp,
+                "ln": math.log,
+                "sqrt": math.sqrt,
+            }.get(self.value)
+            if fn is None:
+                raise QasmError(f"unknown function: {self.value!r}")
+            return fn(self.children[0].evaluate(env))
+        left = self.children[0].evaluate(env)
+        right = self.children[1].evaluate(env)
+        if self.kind == "+":
+            return left + right
+        if self.kind == "-":
+            return left - right
+        if self.kind == "*":
+            return left * right
+        if self.kind == "/":
+            return left / right
+        if self.kind == "^":
+            return left**right
+        raise QasmError(f"bad expression node {self.kind!r}")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, Tuple[int, int]] = {}
+        self.macros: Dict[str, _GateMacro] = {}
+        self.circuit: Optional[QuantumCircuit] = None
+        self.pending: List[Tuple] = []  # statements seen before registers known
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QasmError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise QasmError(
+                f"line {token.line}: expected {value or kind}, got {token.value!r}"
+            )
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self.pos += 1
+            return token
+        return None
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse(self) -> QuantumCircuit:
+        if self._accept("KEYWORD", "OPENQASM"):
+            self._expect("NUMBER")
+            self._expect("SEMI")
+        while self._peek() is not None:
+            self._statement()
+        num_qubits = sum(size for _, size in self.qregs.values())
+        num_clbits = sum(size for _, size in self.cregs.values())
+        self.circuit = QuantumCircuit(num_qubits, num_clbits)
+        for statement in self.pending:
+            self._emit(*statement)
+        return self.circuit
+
+    def _statement(self) -> None:
+        token = self._peek()
+        assert token is not None
+        if token.kind == "KEYWORD":
+            handler = {
+                "include": self._include,
+                "qreg": self._qreg,
+                "creg": self._creg,
+                "gate": self._gate_def,
+                "opaque": self._opaque,
+                "measure": self._measure,
+                "reset": self._reset,
+                "barrier": self._barrier,
+                "if": self._if,
+            }.get(token.value)
+            if handler is None:
+                raise QasmError(f"line {token.line}: unexpected keyword {token.value!r}")
+            handler()
+        elif token.kind == "ID":
+            self._gate_call(condition=None)
+        else:
+            raise QasmError(f"line {token.line}: unexpected token {token.value!r}")
+
+    def _include(self) -> None:
+        self._next()
+        self._expect("STRING")
+        self._expect("SEMI")
+
+    def _qreg(self) -> None:
+        self._next()
+        name = self._expect("ID").value
+        self._expect("LBRACKET")
+        size = int(self._expect("NUMBER").value)
+        self._expect("RBRACKET")
+        self._expect("SEMI")
+        offset = sum(s for _, s in self.qregs.values())
+        self.qregs[name] = (offset, size)
+
+    def _creg(self) -> None:
+        self._next()
+        name = self._expect("ID").value
+        self._expect("LBRACKET")
+        size = int(self._expect("NUMBER").value)
+        self._expect("RBRACKET")
+        self._expect("SEMI")
+        offset = sum(s for _, s in self.cregs.values())
+        self.cregs[name] = (offset, size)
+
+    def _opaque(self) -> None:
+        while self._next().kind != "SEMI":
+            pass
+
+    def _gate_def(self) -> None:
+        self._next()
+        name = self._expect("ID").value
+        macro = _GateMacro(params=[], qubits=[])
+        if self._accept("LPAREN"):
+            if not self._accept("RPAREN"):
+                macro.params.append(self._expect("ID").value)
+                while self._accept("COMMA"):
+                    macro.params.append(self._expect("ID").value)
+                self._expect("RPAREN")
+        macro.qubits.append(self._expect("ID").value)
+        while self._accept("COMMA"):
+            macro.qubits.append(self._expect("ID").value)
+        self._expect("LBRACE")
+        while not self._accept("RBRACE"):
+            token = self._peek()
+            if token and token.kind == "KEYWORD" and token.value == "barrier":
+                # barriers inside macro bodies are ordering hints; skip them
+                while self._next().kind != "SEMI":
+                    pass
+                continue
+            call_name = self._expect("ID").value
+            params: List[_Expr] = []
+            if self._accept("LPAREN"):
+                if not self._accept("RPAREN"):
+                    params.append(self._expr())
+                    while self._accept("COMMA"):
+                        params.append(self._expr())
+                    self._expect("RPAREN")
+            args = [self._expect("ID").value]
+            while self._accept("COMMA"):
+                args.append(self._expect("ID").value)
+            self._expect("SEMI")
+            macro.body.append((call_name, params, args))
+        self.macros[name] = macro
+
+    # -- operand parsing -----------------------------------------------------------
+
+    def _operand(self) -> Tuple[str, Optional[int]]:
+        name = self._expect("ID").value
+        index: Optional[int] = None
+        if self._accept("LBRACKET"):
+            index = int(self._expect("NUMBER").value)
+            self._expect("RBRACKET")
+        return name, index
+
+    def _expr(self) -> _Expr:
+        return self._add_expr()
+
+    def _add_expr(self) -> _Expr:
+        node = self._mul_expr()
+        while True:
+            token = self._peek()
+            if token and token.kind == "OP" and token.value in "+-":
+                self._next()
+                node = _Expr(token.value, children=[node, self._mul_expr()])
+            else:
+                return node
+
+    def _mul_expr(self) -> _Expr:
+        node = self._unary_expr()
+        while True:
+            token = self._peek()
+            if token and token.kind == "OP" and token.value in "*/":
+                self._next()
+                node = _Expr(token.value, children=[node, self._unary_expr()])
+            else:
+                return node
+
+    def _unary_expr(self) -> _Expr:
+        token = self._peek()
+        if token and token.kind == "OP" and token.value == "-":
+            self._next()
+            return _Expr("neg", children=[self._unary_expr()])
+        return self._pow_expr()
+
+    def _pow_expr(self) -> _Expr:
+        node = self._atom_expr()
+        token = self._peek()
+        if token and token.kind == "OP" and token.value == "^":
+            self._next()
+            return _Expr("^", children=[node, self._unary_expr()])
+        return node
+
+    def _atom_expr(self) -> _Expr:
+        token = self._next()
+        if token.kind == "NUMBER":
+            return _Expr("num", token.value)
+        if token.kind == "ID":
+            if self._accept("LPAREN"):
+                arg = self._expr()
+                self._expect("RPAREN")
+                return _Expr("call", token.value, [arg])
+            return _Expr("name", token.value)
+        if token.kind == "LPAREN":
+            node = self._expr()
+            self._expect("RPAREN")
+            return node
+        raise QasmError(f"line {token.line}: bad expression token {token.value!r}")
+
+    # -- statements that emit instructions ----------------------------------------
+
+    def _gate_call(self, condition) -> None:
+        name = self._expect("ID").value
+        params: List[_Expr] = []
+        if self._accept("LPAREN"):
+            if not self._accept("RPAREN"):
+                params.append(self._expr())
+                while self._accept("COMMA"):
+                    params.append(self._expr())
+                self._expect("RPAREN")
+        operands = [self._operand()]
+        while self._accept("COMMA"):
+            operands.append(self._operand())
+        self._expect("SEMI")
+        values = [p.evaluate({}) for p in params]
+        self.pending.append(("gate", name, values, operands, condition))
+
+    def _measure(self) -> None:
+        self._next()
+        qubit = self._operand()
+        self._expect("ARROW")
+        clbit = self._operand()
+        self._expect("SEMI")
+        self.pending.append(("measure", qubit, clbit))
+
+    def _reset(self) -> None:
+        self._next()
+        operand = self._operand()
+        self._expect("SEMI")
+        self.pending.append(("reset", operand))
+
+    def _barrier(self) -> None:
+        self._next()
+        operands = [self._operand()]
+        while self._accept("COMMA"):
+            operands.append(self._operand())
+        self._expect("SEMI")
+        self.pending.append(("barrier", operands))
+
+    def _if(self) -> None:
+        self._next()
+        self._expect("LPAREN")
+        creg = self._expect("ID").value
+        self._expect("EQ")
+        value = int(self._expect("NUMBER").value)
+        self._expect("RPAREN")
+        token = self._peek()
+        if token and token.kind == "KEYWORD" and token.value == "measure":
+            raise QasmError(f"line {token.line}: conditional measure unsupported")
+        self._gate_call(condition=(creg, value))
+
+    # -- emission (after register sizes are known) -----------------------------------
+
+    def _q_indices(self, operand: Tuple[str, Optional[int]]) -> List[int]:
+        name, index = operand
+        if name not in self.qregs:
+            raise QasmError(f"unknown quantum register {name!r}")
+        offset, size = self.qregs[name]
+        if index is None:
+            return [offset + i for i in range(size)]
+        if index >= size:
+            raise QasmError(f"index {index} out of range for qreg {name!r}")
+        return [offset + index]
+
+    def _c_indices(self, operand: Tuple[str, Optional[int]]) -> List[int]:
+        name, index = operand
+        if name not in self.cregs:
+            raise QasmError(f"unknown classical register {name!r}")
+        offset, size = self.cregs[name]
+        if index is None:
+            return [offset + i for i in range(size)]
+        if index >= size:
+            raise QasmError(f"index {index} out of range for creg {name!r}")
+        return [offset + index]
+
+    def _resolve_condition(self, condition) -> Optional[Tuple[int, int]]:
+        if condition is None:
+            return None
+        creg, value = condition
+        if creg not in self.cregs:
+            raise QasmError(f"unknown classical register {creg!r} in condition")
+        offset, size = self.cregs[creg]
+        if size != 1 or value not in (0, 1):
+            raise QasmError(
+                "only single-bit classical conditions are supported "
+                f"(register {creg!r} has {size} bits, value {value})"
+            )
+        return (offset, value)
+
+    def _emit(self, kind: str, *payload) -> None:
+        assert self.circuit is not None
+        if kind == "measure":
+            qubit_operand, clbit_operand = payload
+            qs = self._q_indices(qubit_operand)
+            cs = self._c_indices(clbit_operand)
+            if len(qs) != len(cs):
+                raise QasmError("measure register size mismatch")
+            for q, c in zip(qs, cs):
+                self.circuit.measure(q, c)
+            return
+        if kind == "reset":
+            for q in self._q_indices(payload[0]):
+                self.circuit.reset(q)
+            return
+        if kind == "barrier":
+            qubits: List[int] = []
+            for operand in payload[0]:
+                qubits.extend(self._q_indices(operand))
+            self.circuit.barrier(*qubits)
+            return
+        # gate call
+        name, values, operands, condition = payload
+        resolved = self._resolve_condition(condition)
+        groups = [self._q_indices(op) for op in operands]
+        lengths = {len(g) for g in groups if len(g) > 1}
+        if len(lengths) > 1:
+            raise QasmError(f"inconsistent broadcast sizes for gate {name!r}")
+        repeat = lengths.pop() if lengths else 1
+        for i in range(repeat):
+            qubits = [g[i] if len(g) > 1 else g[0] for g in groups]
+            self._apply_gate(name, values, qubits, resolved)
+
+    def _apply_gate(
+        self,
+        name: str,
+        values: List[float],
+        qubits: List[int],
+        condition: Optional[Tuple[int, int]],
+    ) -> None:
+        assert self.circuit is not None
+        if name == "u2":
+            values = [math.pi / 2] + list(values)
+            name = "u"
+        if name in _DIRECT:
+            from repro.circuit.instruction import Instruction
+
+            instruction = Instruction(
+                name=_DIRECT[name],
+                qubits=tuple(qubits),
+                params=tuple(values),
+                condition=condition,
+            )
+            self.circuit.append(instruction)
+            return
+        macro = self.macros.get(name)
+        if macro is None:
+            raise QasmError(f"unknown gate {name!r}")
+        if len(macro.params) != len(values) or len(macro.qubits) != len(qubits):
+            raise QasmError(f"bad arity calling macro gate {name!r}")
+        env = dict(zip(macro.params, values))
+        qubit_env = dict(zip(macro.qubits, qubits))
+        for call_name, param_exprs, args in macro.body:
+            call_values = [p.evaluate(env) for p in param_exprs]
+            call_qubits = []
+            for arg in args:
+                if arg not in qubit_env:
+                    raise QasmError(f"unknown qubit {arg!r} in macro {name!r}")
+                call_qubits.append(qubit_env[arg])
+            self._apply_gate(call_name, call_values, call_qubits, condition)
+
+
+def parse_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 *text* into a :class:`QuantumCircuit`.
+
+    Registers are flattened to integer wires in declaration order.
+    """
+    return _Parser(tokenize(text)).parse()

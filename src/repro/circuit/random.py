@@ -1,0 +1,60 @@
+"""Random circuit generation for fuzzing and property-based tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+__all__ = ["random_circuit"]
+
+_ONE_QUBIT = ["x", "h", "s", "t", "sx", "rz", "rx", "ry"]
+_TWO_QUBIT = ["cx", "cz", "rzz", "cp"]
+_PARAMETRIC = {"rz", "rx", "ry", "rzz", "cp"}
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: Optional[int] = None,
+    two_qubit_fraction: float = 0.5,
+    measure: bool = False,
+    gate_pool_1q: Sequence[str] = tuple(_ONE_QUBIT),
+    gate_pool_2q: Sequence[str] = tuple(_TWO_QUBIT),
+) -> QuantumCircuit:
+    """Generate a random circuit with roughly the requested 2Q fraction.
+
+    Args:
+        num_qubits: number of wires.
+        num_gates: number of gate instructions to emit.
+        seed: RNG seed for reproducibility.
+        two_qubit_fraction: probability of drawing a two-qubit gate
+            (requires at least two qubits).
+        measure: append a full measurement layer at the end.
+        gate_pool_1q / gate_pool_2q: gate names to draw from.
+    """
+    if num_qubits < 1:
+        raise CircuitError("random_circuit needs at least one qubit")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0, name="random")
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < two_qubit_fraction:
+            name = rng.choice(list(gate_pool_2q))
+            a, b = rng.sample(range(num_qubits), 2)
+            if name in _PARAMETRIC:
+                getattr(circuit, name)(rng.uniform(0, 3.14159), a, b)
+            else:
+                getattr(circuit, name)(a, b)
+        else:
+            name = rng.choice(list(gate_pool_1q))
+            q = rng.randrange(num_qubits)
+            if name in _PARAMETRIC:
+                getattr(circuit, name)(rng.uniform(0, 3.14159), q)
+            else:
+                getattr(circuit, name)(q)
+    if measure:
+        for q in range(num_qubits):
+            circuit.measure(q, q)
+    return circuit

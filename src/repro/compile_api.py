@@ -1,0 +1,222 @@
+"""Top-level one-call API: ``caqr_compile``.
+
+The paper's tool takes a circuit (or QAOA problem graph), a backend, and
+user intent (save qubits to a budget / minimise depth / minimise SWAPs)
+and returns a compiled dynamic circuit plus a report.  This module wires
+the QS/SR passes, the tradeoff explorer, and the baseline transpiler into
+that single entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import networkx as nx
+
+from repro.analysis.metrics import CircuitMetrics, collect_metrics
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.qs_caqr import QSCaQR
+from repro.core.qs_commuting import QSCaQRCommuting
+from repro.core.sr_caqr import SRCaQR
+from repro.core.sr_commuting import SRCaQRCommuting
+from repro.core.tradeoff import (
+    assess_reuse_benefit,
+    select_point,
+    sweep_commuting,
+    sweep_regular,
+)
+from repro.exceptions import ReuseError
+from repro.hardware.backends import Backend
+from repro.transpiler.pipeline import transpile
+
+__all__ = ["CompileReport", "caqr_compile"]
+
+
+@dataclass
+class CompileReport:
+    """Result of :func:`caqr_compile`.
+
+    Attributes:
+        circuit: the compiled (hardware-mapped when a backend was given)
+            dynamic circuit.
+        mode: the strategy that produced it.
+        metrics: the paper's metric set for the compiled circuit.
+        baseline_metrics: same metrics for the no-reuse baseline compile
+            (present when a backend was given).
+        reuse_beneficial: the benefit identifier's verdict.
+        qubit_saving: fraction of qubits saved vs. the input.
+    """
+
+    circuit: QuantumCircuit
+    mode: str
+    metrics: CircuitMetrics
+    baseline_metrics: Optional[CircuitMetrics]
+    reuse_beneficial: bool
+    qubit_saving: float
+
+
+def caqr_compile(
+    target: Union[QuantumCircuit, nx.Graph],
+    backend: Optional[Backend] = None,
+    mode: str = "min_depth",
+    qubit_limit: Optional[int] = None,
+    reset_style: str = "cif",
+    seed: int = 11,
+    auto_commuting: bool = True,
+) -> CompileReport:
+    """Compile a circuit or QAOA problem graph with qubit reuse.
+
+    Args:
+        target: a :class:`QuantumCircuit` (regular application) or a
+            networkx problem graph (commuting QAOA application).
+        backend: device to map onto; omit for logical-level output.
+        mode: one of
+
+            * ``"qubit_budget"`` — QS-CaQR to *qubit_limit* qubits
+              (raises when infeasible);
+            * ``"max_reuse"`` — QS-CaQR to the smallest reachable width;
+            * ``"min_depth"`` — the sweep point with the best (compiled)
+              depth;
+            * ``"min_swap"`` — SR-CaQR (requires a backend).
+        qubit_limit: required for ``"qubit_budget"``.
+        reset_style: reuse reset idiom (``"cif"`` or ``"builtin"``).
+        auto_commuting: recognise QAOA-shaped circuits and dispatch them to
+            the commuting-gate pipeline (uniform-angle circuits only; the
+            regular pipeline handles everything else soundly).
+    """
+    angles = None
+    if (
+        auto_commuting
+        and isinstance(target, QuantumCircuit)
+        and not isinstance(target, nx.Graph)
+    ):
+        from repro.core.structure import extract_commuting_structure
+
+        structure = extract_commuting_structure(target)
+        if (
+            structure is not None
+            and structure.uniform_gamma() is not None
+            and structure.uniform_beta() is not None
+        ):
+            # the commuting pipeline sees strictly more reuse freedom
+            target = structure.graph
+            angles = (structure.uniform_gamma(), structure.uniform_beta())
+    is_graph = isinstance(target, nx.Graph)
+    if mode == "min_swap":
+        if backend is None:
+            raise ReuseError("min_swap mode needs a backend")
+        if is_graph:
+            sr_kwargs = {}
+            if angles is not None:
+                sr_kwargs = {"gamma": angles[0], "beta": angles[1]}
+            result = SRCaQRCommuting(
+                backend, reset_style=reset_style, **sr_kwargs
+            ).run(target, qubit_limit=qubit_limit)
+            compiled = result.circuit
+            original_width = target.number_of_nodes()
+        else:
+            compiled = SRCaQR(backend, reset_style=reset_style).run(target).circuit
+            original_width = target.num_qubits
+        baseline = _baseline_metrics(target, backend, seed, angles)
+        sweep = _sweep(target, None, reset_style, seed)
+        metrics = collect_metrics(
+            compiled, backend.calibration if backend else None
+        )
+        return CompileReport(
+            circuit=compiled,
+            mode=mode,
+            metrics=metrics,
+            baseline_metrics=baseline,
+            reuse_beneficial=assess_reuse_benefit(sweep).beneficial,
+            qubit_saving=1.0 - metrics.qubits_used / original_width,
+        )
+
+    if mode == "qubit_budget":
+        if qubit_limit is None:
+            raise ReuseError("qubit_budget mode needs qubit_limit")
+        if is_graph:
+            qs_kwargs = {}
+            if angles is not None:
+                qs_kwargs = {"gamma": angles[0], "beta": angles[1]}
+            point = QSCaQRCommuting(
+                target, reset_style=reset_style, **qs_kwargs
+            ).reduce_to(qubit_limit)
+            original_width = target.number_of_nodes()
+        else:
+            point = QSCaQR(reset_style=reset_style).reduce_to(target, qubit_limit)
+            original_width = target.num_qubits
+        if not point.feasible:
+            raise ReuseError(
+                f"cannot compile to {qubit_limit} qubits "
+                f"(reached {point.qubits})"
+            )
+        logical = point.circuit
+        compiled = (
+            transpile(logical, backend, optimization_level=3, seed=seed).circuit
+            if backend is not None
+            else logical
+        )
+        sweep = _sweep(target, None, reset_style, seed, angles)
+        return CompileReport(
+            circuit=compiled,
+            mode=mode,
+            metrics=collect_metrics(
+                compiled, backend.calibration if backend else None
+            ),
+            baseline_metrics=_baseline_metrics(target, backend, seed, angles),
+            reuse_beneficial=assess_reuse_benefit(sweep).beneficial,
+            qubit_saving=1.0 - point.qubits / original_width,
+        )
+
+    if mode not in ("max_reuse", "min_depth"):
+        raise ReuseError(f"unknown compile mode {mode!r}")
+    sweep = _sweep(target, backend, reset_style, seed, angles)
+    point = select_point(sweep, mode)
+    original_width = (
+        target.number_of_nodes() if is_graph else target.num_qubits
+    )
+    return CompileReport(
+        circuit=point.circuit,
+        mode=mode,
+        metrics=collect_metrics(
+            point.circuit, backend.calibration if backend else None
+        ),
+        baseline_metrics=_baseline_metrics(target, backend, seed, angles),
+        reuse_beneficial=assess_reuse_benefit(sweep).beneficial,
+        qubit_saving=1.0 - point.qubits / original_width,
+    )
+
+
+def _sweep(target, backend, reset_style, seed, angles=None):
+    if isinstance(target, nx.Graph):
+        gamma, beta = angles if angles is not None else (None, None)
+        return sweep_commuting(
+            target,
+            backend=backend,
+            reset_style=reset_style,
+            seed=seed,
+            gamma=gamma,
+            beta=beta,
+        )
+    return sweep_regular(
+        target, backend=backend, reset_style=reset_style, seed=seed
+    )
+
+
+def _baseline_metrics(target, backend, seed, angles=None) -> Optional[CircuitMetrics]:
+    if backend is None:
+        return None
+    if isinstance(target, nx.Graph):
+        from repro.workloads.qaoa import qaoa_maxcut_circuit
+
+        if angles is not None:
+            circuit = qaoa_maxcut_circuit(
+                target, gammas=[angles[0]], betas=[angles[1]]
+            )
+        else:
+            circuit = qaoa_maxcut_circuit(target)
+    else:
+        circuit = target
+    compiled = transpile(circuit, backend, optimization_level=3, seed=seed)
+    return collect_metrics(compiled.circuit, backend.calibration)

@@ -1,0 +1,122 @@
+"""The paper's two qubit-reuse validity conditions (Section 3.1).
+
+A reuse pair is written ``(q_i -> q_j)``: logical qubit ``q_i`` finishes
+all its operations, is measured and reset, and its wire is then *reused by*
+logical qubit ``q_j``.
+
+* **Condition 1** — there must be no gate acting on both ``q_i`` and
+  ``q_j`` (otherwise the two lifetimes cannot be disjoint).
+* **Condition 2** — no operation on ``q_i`` may depend, directly or
+  transitively, on any operation on ``q_j`` (otherwise inserting the
+  measurement node ``D`` creates a cycle — paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.dag.dagcircuit import DAGCircuit
+from repro.dag.reachability import qubit_dependency_matrix
+
+__all__ = [
+    "ReusePair",
+    "condition1_ok",
+    "condition2_ok",
+    "is_valid_pair",
+    "valid_reuse_pairs",
+    "ReuseAnalysis",
+]
+
+
+@dataclass(frozen=True)
+class ReusePair:
+    """The reuse pair ``(source -> target)``: *source* is measured and its
+    wire handed to *target*."""
+
+    source: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("a qubit cannot reuse itself")
+
+    def __str__(self) -> str:  # pragma: no cover - display
+        return f"(q{self.source} -> q{self.target})"
+
+
+class ReuseAnalysis:
+    """Cached Condition-1/2 analysis of one circuit.
+
+    Builds the interaction sets and the qubit-level dependency matrix once
+    and answers pair-validity queries in O(1).
+    """
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.circuit = circuit
+        self.dag = DAGCircuit.from_circuit(circuit)
+        self._interacts: Dict[int, Set[int]] = {
+            q: set() for q in range(circuit.num_qubits)
+        }
+        for instruction in circuit.data:
+            # multi-qubit barriers count too: a directive spanning both
+            # qubits pins their lifetimes together, so the pair is blocked
+            if len(instruction.qubits) < 2:
+                continue
+            for a in instruction.qubits:
+                for b in instruction.qubits:
+                    if a != b:
+                        self._interacts[a].add(b)
+        self._dependency = qubit_dependency_matrix(self.dag)
+        self._used = set(circuit.used_qubits())
+
+    def condition1(self, pair: ReusePair) -> bool:
+        """True when no gate acts on both qubits of *pair*."""
+        return pair.target not in self._interacts[pair.source]
+
+    def condition2(self, pair: ReusePair) -> bool:
+        """True when no gate on the source depends on a gate on the target.
+
+        Equivalently: no gate on ``target`` precedes (reaches) any gate on
+        ``source`` in the dependency DAG.
+        """
+        return not self._dependency.get((pair.target, pair.source), False)
+
+    def is_valid(self, pair: ReusePair) -> bool:
+        """Both conditions, and both qubits actually carry operations."""
+        if pair.source not in self._used or pair.target not in self._used:
+            return False
+        return self.condition1(pair) and self.condition2(pair)
+
+    def valid_pairs(self) -> List[ReusePair]:
+        """Every valid reuse pair of the circuit, in (source, target) order."""
+        pairs = []
+        for source in sorted(self._used):
+            for target in sorted(self._used):
+                if source == target:
+                    continue
+                pair = ReusePair(source, target)
+                if self.condition1(pair) and self.condition2(pair):
+                    pairs.append(pair)
+        return pairs
+
+
+def condition1_ok(circuit: QuantumCircuit, source: int, target: int) -> bool:
+    """Standalone Condition 1 check (no shared gate)."""
+    return ReuseAnalysis(circuit).condition1(ReusePair(source, target))
+
+
+def condition2_ok(circuit: QuantumCircuit, source: int, target: int) -> bool:
+    """Standalone Condition 2 check (no reverse dependency)."""
+    return ReuseAnalysis(circuit).condition2(ReusePair(source, target))
+
+
+def is_valid_pair(circuit: QuantumCircuit, source: int, target: int) -> bool:
+    """Both conditions for ``(source -> target)`` on *circuit*."""
+    return ReuseAnalysis(circuit).is_valid(ReusePair(source, target))
+
+
+def valid_reuse_pairs(circuit: QuantumCircuit) -> List[ReusePair]:
+    """All valid reuse pairs of *circuit*."""
+    return ReuseAnalysis(circuit).valid_pairs()

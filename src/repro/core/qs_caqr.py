@@ -1,0 +1,195 @@
+"""QS-CaQR for regular (non-commuting) circuits — paper Section 3.2.1.
+
+The driver greedily reduces qubit usage one wire at a time:
+
+1. enumerate all valid reuse pairs (Conditions 1 & 2),
+2. evaluate each pair by the critical path of the DAG with the dummy
+   measurement node ``D`` inserted (Fig. 9),
+3. apply the best pair (smallest resulting depth or duration),
+4. repeat until the requested qubit budget is reached or no pair remains.
+
+``sweep`` records every intermediate circuit so callers can explore the
+full qubit-usage / depth tradeoff curve (Figs. 3, 13, 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.conditions import ReuseAnalysis, ReusePair
+from repro.core.evaluate import evaluate_pair_depth, evaluate_pair_duration
+from repro.core.transform import apply_reuse_pair
+from repro.exceptions import ReuseError
+from repro.transpiler.scheduling import circuit_duration_dt
+
+__all__ = ["QSCaQRResult", "QSCaQR"]
+
+
+@dataclass
+class QSCaQRResult:
+    """One point of the qubit-saving sweep.
+
+    Attributes:
+        circuit: the transformed logical circuit.
+        qubits: its width (qubit usage).
+        depth: logical circuit depth.
+        duration_dt: estimated logical duration with default gate times.
+        pairs: reuse pairs applied so far (indices are per-step wire labels).
+        feasible: whether the requested budget was reached (``reduce_to``
+            sets this; a sweep's entries are feasible by construction).
+    """
+
+    circuit: QuantumCircuit
+    qubits: int
+    depth: int
+    duration_dt: int
+    pairs: List[ReusePair] = field(default_factory=list)
+    feasible: bool = True
+
+
+class QSCaQR:
+    """Qubit-saving CaQR for regular applications.
+
+    Args:
+        objective: ``"depth"`` ranks candidate pairs by resulting circuit
+            depth; ``"duration"`` by estimated duration in dt (which
+            penalises the slow measurement the reuse inserts).
+        reset_style: ``"cif"`` (measure + conditional X) or ``"builtin"``.
+    """
+
+    def __init__(
+        self,
+        objective: str = "depth",
+        reset_style: str = "cif",
+        lookahead_width: Optional[int] = None,
+    ):
+        if objective not in ("depth", "duration"):
+            raise ReuseError(f"unknown objective {objective!r}")
+        self.objective = objective
+        self.reset_style = reset_style
+        # None = evaluate the reuse-potential lookahead on every candidate
+        # (exact for the paper's benchmark sizes); set an int to cap the
+        # window on very wide circuits.
+        self.lookahead_width = lookahead_width
+
+    # -- single greedy step ---------------------------------------------------
+
+    @staticmethod
+    def _reuse_potential(circuit: QuantumCircuit) -> int:
+        """Upper bound on further merges: max bipartite matching over the
+        valid-pair relation (each qubit once as source, once as target).
+
+        A pair that looks cheap by critical path can still destroy future
+        reuse (e.g. pairing BV's first data qubit with its *last* one
+        breaks the chain that reaches the 2-qubit floor); this bound is
+        the lookahead that prevents such dead ends.
+        """
+        import networkx as nx
+
+        pairs = ReuseAnalysis(circuit).valid_pairs()
+        if not pairs:
+            return 0
+        graph = nx.Graph()
+        sources = {("s", p.source) for p in pairs}
+        for pair in pairs:
+            graph.add_edge(("s", pair.source), ("t", pair.target))
+        matching = nx.algorithms.bipartite.hopcroft_karp_matching(graph, sources)
+        return len(matching) // 2
+
+    def best_pair(self, circuit: QuantumCircuit) -> Optional[ReusePair]:
+        """The cheapest valid pair that preserves maximal reuse potential.
+
+        Candidates are ranked by the critical path of the DAG with the
+        dummy node inserted (paper Fig. 9); among the ``lookahead_width``
+        cheapest, the pair whose application leaves the largest remaining
+        reuse-matching bound wins (cost breaks ties).
+        """
+        analysis = ReuseAnalysis(circuit)
+        candidates = analysis.valid_pairs()
+        if not candidates:
+            return None
+
+        def _cost(pair: ReusePair):
+            if self.objective == "depth":
+                value = evaluate_pair_depth(analysis.dag, pair)
+            else:
+                value = evaluate_pair_duration(analysis.dag, pair, self.reset_style)
+            return (value, pair.source, pair.target)
+
+        ranked = sorted(candidates, key=_cost)
+        if self.lookahead_width is not None:
+            ranked = ranked[: max(1, self.lookahead_width)]
+        window = ranked
+        best_pair: Optional[ReusePair] = None
+        best_key = None
+        for pair in window:
+            transformed = apply_reuse_pair(
+                circuit, pair, reset_style=self.reset_style, validate=False
+            ).circuit
+            potential = self._reuse_potential(transformed)
+            key = (-potential, _cost(pair))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_pair = pair
+        return best_pair
+
+    def _point(self, circuit: QuantumCircuit, pairs: List[ReusePair], feasible: bool = True) -> QSCaQRResult:
+        return QSCaQRResult(
+            circuit=circuit,
+            qubits=circuit.num_qubits,
+            depth=circuit.depth(),
+            duration_dt=circuit_duration_dt(circuit),
+            pairs=list(pairs),
+            feasible=feasible,
+        )
+
+    # -- public API -------------------------------------------------------------
+
+    def sweep(self, circuit: QuantumCircuit, min_qubits: int = 1) -> List[QSCaQRResult]:
+        """All achievable qubit counts, from the original width to the floor.
+
+        Returns one result per width; the first entry is the untouched
+        input, the last is the maximal-reuse circuit.
+        """
+        points = [self._point(circuit, [])]
+        current = circuit
+        pairs: List[ReusePair] = []
+        while current.num_qubits > min_qubits:
+            pair = self.best_pair(current)
+            if pair is None:
+                break
+            current = apply_reuse_pair(
+                current, pair, reset_style=self.reset_style, validate=False
+            ).circuit
+            pairs.append(pair)
+            points.append(self._point(current, pairs))
+        return points
+
+    def minimum_qubits(self, circuit: QuantumCircuit) -> int:
+        """The smallest width greedy reuse reaches for *circuit*."""
+        return self.sweep(circuit)[-1].qubits
+
+    def reduce_to(self, circuit: QuantumCircuit, qubit_limit: int) -> QSCaQRResult:
+        """Compile to at most *qubit_limit* qubits, if possible.
+
+        Mirrors the paper's interface: the result's ``feasible`` flag is
+        the "yes/no" answer; when feasible the circuit uses exactly
+        ``min(qubit_limit, original width)`` qubits.
+        """
+        if qubit_limit < 1:
+            raise ReuseError("qubit limit must be positive")
+        if circuit.num_qubits <= qubit_limit:
+            return self._point(circuit, [])
+        current = circuit
+        pairs: List[ReusePair] = []
+        while current.num_qubits > qubit_limit:
+            pair = self.best_pair(current)
+            if pair is None:
+                return self._point(current, pairs, feasible=False)
+            current = apply_reuse_pair(
+                current, pair, reset_style=self.reset_style, validate=False
+            ).circuit
+            pairs.append(pair)
+        return self._point(current, pairs)

@@ -1,0 +1,533 @@
+"""SR-CaQR: dynamic-circuit-aware mapping targeting SWAP reduction
+(paper Section 3.3).
+
+The router compiles the logical circuit layer by layer, mapping logical
+qubits to physical qubits *lazily*:
+
+* frontier gates **on the critical path** are scheduled immediately —
+  their unmapped qubits get placed using the paper's Step-2 heuristics
+  (qubit with more gates first; best-connected / lowest-error free
+  physical qubit; partner placed at minimum distance, ties broken by
+  readout / CNOT error);
+* frontier gates **off the critical path** are *delayed*, so by the time
+  their qubits must be placed, earlier logical qubits may have finished
+  and released their physical qubits back into ``physicalList`` — placing
+  a fresh logical qubit onto a released wire is a qubit reuse, and the
+  broader choice of placements is what removes SWAPs;
+* blocked two-qubit gates get SWAPs inserted one at a time along an
+  error-aware shortest path (Step 3's "heuristic ... with the
+  consideration of error variability").
+
+A physical qubit is only released for reuse when its logical qubit's final
+operation was a measurement (the paper's setting: reused qubits are
+measured first — their outcome is still needed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.dag.dagcircuit import DAGCircuit
+from repro.exceptions import ReuseError
+from repro.hardware.backends import Backend
+from repro.transpiler.basis import decompose_to_two_qubit
+from repro.transpiler.layout import Layout
+from repro.transpiler.scheduling import circuit_duration_dt
+
+__all__ = ["SRCaQRResult", "SRCaQR"]
+
+_FRESH = ("fresh", None)
+_DIRTY = ("dirty", None)
+
+
+@dataclass
+class SRCaQRResult:
+    """Output of the SR-CaQR router.
+
+    Attributes:
+        circuit: physical circuit (indices are device qubits) with SWAPs
+            and the reuse reset operations inserted.
+        swap_count: SWAPs inserted.
+        reuse_count: times a logical qubit was placed on a released wire.
+        qubits_used: distinct physical qubits that carried operations.
+        depth / duration_dt: metrics of the physical circuit.
+    """
+
+    circuit: QuantumCircuit
+    swap_count: int
+    reuse_count: int
+    qubits_used: int
+    depth: int
+    duration_dt: int
+
+
+class SRCaQR:
+    """Swap-reduction CaQR for regular applications.
+
+    Args:
+        backend: target device (coupling + calibration).
+        noise_aware: weight SWAP paths and placement by calibration errors
+            (when off, plain hop distance is used — the ablation knob).
+        reset_style: reset idiom used at reuse points.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        noise_aware: bool = True,
+        reset_style: str = "cif",
+    ):
+        self.backend = backend
+        self.noise_aware = noise_aware
+        self.reset_style = reset_style
+        self._error_graph = self._build_error_graph()
+        # error-weighted all-pairs distances for SWAP scoring; on a
+        # noise-blind run these equal hop distances
+        self._error_distance: Dict[int, Dict[int, float]] = dict(
+            nx.all_pairs_dijkstra_path_length(self._error_graph, weight="weight")
+        )
+
+    def _build_error_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.backend.num_qubits))
+        for a, b in self.backend.coupling.edges:
+            if self.noise_aware:
+                error = self.backend.calibration.get_cx_error(a, b)
+                weight = -math.log(max(1.0 - error, 1e-9))
+            else:
+                weight = 1.0
+            graph.add_edge(a, b, weight=weight)
+        return graph
+
+    # -- the main pass -------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        trials: int = 3,
+        qs_assist: bool = True,
+        objective: str = "swaps",
+    ) -> SRCaQRResult:
+        """Compile *circuit* onto the backend with lazy mapping and reuse.
+
+        The circuit may be *wider* than the device: reuse frees wires, so
+        only the number of concurrently-live logical qubits is bounded
+        (a :class:`~repro.exceptions.ReuseError` is raised if the free
+        pool is ever exhausted).
+
+        Several placement-hint seeds are tried (*trials*), and — mirroring
+        SR-CaQR-commuting's Step 1 — with *qs_assist* the router also
+        evaluates a few QS-CaQR pre-transformed versions of the circuit
+        (imposed reuse dependencies lower mapping congestion on dense
+        circuits).  Under the default *objective* the compilation with the
+        fewest SWAPs (ties: shortest duration) wins; ``objective="esp"``
+        instead maximises the estimated success probability against the
+        backend calibration (the paper's fidelity metric — "improved
+        estimated success probability").
+        """
+        if objective not in ("swaps", "esp"):
+            raise ReuseError(f"unknown SR objective {objective!r}")
+        candidates = [circuit]
+        if qs_assist and not circuit.has_dynamic_operations():
+            from repro.core.qs_caqr import QSCaQR
+
+            sweep = QSCaQR(reset_style=self.reset_style).sweep(circuit)[1:]
+            if len(sweep) > 3:
+                step = len(sweep) / 3.0
+                sweep = [sweep[int(i * step)] for i in range(3)]
+            candidates.extend(point.circuit for point in sweep)
+
+        def _key(result: SRCaQRResult):
+            if objective == "esp":
+                from repro.sim.metrics import estimated_success_probability
+
+                return (
+                    -estimated_success_probability(
+                        result.circuit, self.backend.calibration
+                    ),
+                )
+            return (result.swap_count, result.duration_dt)
+
+        seeds = [None] + [17 + 24 * t for t in range(max(trials - 1, 1))]
+        best: Optional[SRCaQRResult] = None
+        best_key = None
+        for candidate in candidates:
+            for seed in seeds:
+                result = self._run_once(candidate, hint_seed=seed)
+                key = _key(result)
+                if best_key is None or key < best_key:
+                    best, best_key = result, key
+        assert best is not None
+        return best
+
+    def _run_once(
+        self, circuit: QuantumCircuit, hint_seed: Optional[int]
+    ) -> SRCaQRResult:
+        flat = decompose_to_two_qubit(circuit)
+        dag = DAGCircuit.from_circuit(flat)
+        coupling = self.backend.coupling
+
+        # Placement hints (the paper's "benefit future gates by lookahead"):
+        # a SABRE layout search suggests where each logical qubit would sit
+        # in a good global placement; lazy mapping prefers the hinted spot
+        # when it is free, and otherwise falls back to the local heuristics.
+        hints: Dict[int, int] = {}
+        if hint_seed is not None and flat.num_qubits <= coupling.num_qubits:
+            from repro.transpiler.sabre import sabre_layout
+
+            try:
+                hint_layout = sabre_layout(
+                    flat, coupling, seed=hint_seed, iterations=2, trials=2
+                )
+                hints = hint_layout.as_dict()
+            except Exception:
+                hints = {}
+
+        in_degree: Dict[int, int] = {n: dag.in_degree(n) for n in dag.nodes}
+        unscheduled: Set[int] = set(dag.nodes)
+        remaining_gates: Dict[int, int] = {q: 0 for q in range(flat.num_qubits)}
+        last_op: Dict[int, Optional[Instruction]] = {
+            q: None for q in range(flat.num_qubits)
+        }
+        for node_id in dag.op_nodes(include_directives=True):
+            instruction = dag.nodes[node_id].instruction
+            for q in instruction.qubits:
+                remaining_gates[q] += 1
+
+        layout = Layout(flat.num_qubits, self.backend.num_qubits)
+        out = QuantumCircuit(self.backend.num_qubits, flat.num_clbits, flat.name)
+        wire_state: Dict[int, Tuple[str, Optional[int]]] = {
+            p: _FRESH for p in range(self.backend.num_qubits)
+        }
+        ever_used: Set[int] = set()
+        swap_count = 0
+        reuse_count = 0
+        force_map = False
+        # bounded patience per logical qubit when waiting for a wire to free
+        wait_budget: Dict[int, int] = {q: 16 for q in range(flat.num_qubits)}
+
+        # -- inner helpers ---------------------------------------------------------
+
+        def _slack() -> Dict[int, int]:
+            """Unit-weight slack over the unscheduled sub-DAG."""
+            order = [n for n in dag.topological_order() if n in unscheduled]
+            asap: Dict[int, int] = {}
+            for node_id in order:
+                start = max(
+                    (
+                        asap[p]
+                        for p in dag.predecessors(node_id)
+                        if p in unscheduled
+                    ),
+                    default=0,
+                )
+                asap[node_id] = start + 1
+            horizon = max(asap.values(), default=0)
+            alap: Dict[int, int] = {}
+            for node_id in reversed(order):
+                successors = [s for s in dag.successors(node_id) if s in unscheduled]
+                if not successors:
+                    alap[node_id] = horizon
+                else:
+                    alap[node_id] = min(alap[s] - 1 for s in successors)
+            return {n: alap[n] - asap[n] for n in order}
+
+        def _frontier() -> List[int]:
+            return [n for n in dag._order if n in unscheduled and in_degree[n] == 0]
+
+        def _mark_scheduled(node_id: int) -> None:
+            unscheduled.discard(node_id)
+            instruction = dag.nodes[node_id].instruction
+            for successor in dag.successors(node_id):
+                in_degree[successor] -= 1
+            if instruction is None:
+                return
+            for q in instruction.qubits:
+                remaining_gates[q] -= 1
+                last_op[q] = instruction
+            _reclaim()
+
+        def _reclaim() -> None:
+            """Release finished logical qubits back to the physical pool."""
+            for q in range(flat.num_qubits):
+                if remaining_gates[q] == 0 and layout.is_mapped(q):
+                    final = last_op[q]
+                    physical = layout.release(q)
+                    if final is not None and final.name == "measure":
+                        wire_state[physical] = ("measured", final.clbits[0])
+                    else:
+                        wire_state[physical] = _DIRTY
+
+        def _emit(node_id: int) -> None:
+            instruction = dag.nodes[node_id].instruction
+            mapped = instruction.remapped(lambda q: layout.physical(q))
+            out.append(mapped)
+            ever_used.update(mapped.qubits)
+            _mark_scheduled(node_id)
+
+        def _prepare_wire(physical: int) -> None:
+            """Reset a reused wire before its new logical qubit starts."""
+            nonlocal reuse_count
+            state, clbit = wire_state[physical]
+            if state == "fresh":
+                return
+            reuse_count += 1
+            if state == "dirty":
+                clbit = out.num_clbits
+                out.add_clbits(1)
+                out.measure(physical, clbit)
+            if self.reset_style == "cif":
+                out.x(physical).c_if(clbit, 1)
+            else:
+                out.reset(physical)
+            wire_state[physical] = _FRESH
+
+        def _future_partners(logical: int) -> List[int]:
+            """Physical positions of already-mapped future gate partners."""
+            partners: List[int] = []
+            for node_id in dag.nodes_on_qubit(logical):
+                if node_id not in unscheduled:
+                    continue
+                instruction = dag.nodes[node_id].instruction
+                for other in instruction.qubits:
+                    if other != logical and layout.is_mapped(other):
+                        partners.append(layout.physical(other))
+            return partners
+
+        def _free_degree(physical: int) -> int:
+            return sum(
+                1
+                for neighbor in coupling.neighbors(physical)
+                if layout.logical(neighbor) is None
+            )
+
+        def _map_first(logical: int) -> bool:
+            free = layout.free_physical()
+            if not free:
+                return False  # pool exhausted; retry after wires are freed
+            partners = _future_partners(logical)
+            distance = coupling.distance_matrix()
+            # wait for an imminently-freed wire next to a mapped partner
+            # rather than settling for a distant placement (paper Fig. 5)
+            if partners and not force_map and wait_budget[logical] > 0:
+                best_free = min(
+                    distance[p][f] for p in partners for f in free
+                )
+                if best_free > 1:
+                    for partner_physical in partners:
+                        for neighbor in coupling.neighbors(partner_physical):
+                            occupant = layout.logical(neighbor)
+                            if occupant is not None and _finishing_soon(occupant):
+                                wait_budget[logical] -= 1
+                                return False
+
+            def score(physical: int):
+                partner_cost = sum(distance[physical][p] for p in partners)
+                readout = (
+                    self.backend.calibration.get_readout_error(physical)
+                    if self.noise_aware
+                    else 0.0
+                )
+                off_hint = 0 if hints.get(logical) == physical else 1
+                return (
+                    partner_cost,
+                    off_hint,
+                    -_free_degree(physical),
+                    readout,
+                    physical,
+                )
+
+            physical = min(free, key=score)
+            _prepare_wire(physical)
+            layout.assign(logical, physical)
+            return True
+
+        def _finishing_soon(occupant: int) -> bool:
+            """Occupant is in its 1Q/measure tail: the wire frees shortly."""
+            if remaining_gates[occupant] > 3:
+                return False
+            return all(
+                len(dag.nodes[n].instruction.qubits) == 1
+                for n in dag.nodes_on_qubit(occupant)
+                if n in unscheduled
+            )
+
+        def _map_second(logical: int, partner_physical: int) -> bool:
+            free = layout.free_physical()
+            if not free:
+                return False  # pool exhausted; retry after wires are freed
+            distance = coupling.distance_matrix()
+            # Prefer *waiting* over a distant placement when a neighbour of
+            # the partner is about to be released — the released wire is a
+            # SWAP-free reuse spot (the crux of SR-CaQR, paper Fig. 5).
+            if not force_map and wait_budget[logical] > 0:
+                best_free = min(distance[partner_physical][p] for p in free)
+                if best_free > 1:
+                    for neighbor in coupling.neighbors(partner_physical):
+                        occupant = layout.logical(neighbor)
+                        if occupant is not None and _finishing_soon(occupant):
+                            wait_budget[logical] -= 1
+                            return False
+
+            def score(physical: int):
+                hops = distance[partner_physical][physical]
+                if self.noise_aware:
+                    readout = self.backend.calibration.get_readout_error(physical)
+                    link = (
+                        self.backend.calibration.get_cx_error(physical, partner_physical)
+                        if coupling.are_adjacent(physical, partner_physical)
+                        else 1.0
+                    )
+                else:
+                    readout = link = 0.0
+                off_hint = 0 if hints.get(logical) == physical else 1
+                return (hops, off_hint, readout + link, physical)
+
+            physical = min(free, key=score)
+            _prepare_wire(physical)
+            layout.assign(logical, physical)
+            return True
+
+        def _map_gate_qubits(instruction: Instruction) -> bool:
+            unmapped = [q for q in instruction.qubits if not layout.is_mapped(q)]
+            if len(unmapped) == 2:
+                # the qubit with more gates on it is placed first (Step 2)
+                first, second = sorted(
+                    unmapped, key=lambda q: -remaining_gates[q]
+                )
+                if not _map_first(first):
+                    return False
+                return _map_second(second, layout.physical(first))
+            if len(unmapped) == 1 and len(instruction.qubits) == 2:
+                other = next(
+                    q for q in instruction.qubits if q != unmapped[0]
+                )
+                return _map_second(unmapped[0], layout.physical(other))
+            if unmapped:
+                return _map_first(unmapped[0])
+            return True
+
+        def _lookahead_gates(blocked: List[int]) -> List[int]:
+            """Nearest fully-mapped 2Q descendants of the blocked gates."""
+            result: List[int] = []
+            queue = list(blocked)
+            seen = set(queue)
+            while queue and len(result) < 20:
+                node_id = queue.pop(0)
+                for successor in sorted(dag.successors(node_id)):
+                    if successor in seen:
+                        continue
+                    seen.add(successor)
+                    instruction = dag.nodes[successor].instruction
+                    if (
+                        instruction is not None
+                        and len(instruction.qubits) == 2
+                        and all(layout.is_mapped(q) for q in instruction.qubits)
+                    ):
+                        result.append(successor)
+                    queue.append(successor)
+            return result
+
+        last_swap: List[Optional[Tuple[int, int]]] = [None]
+
+        def _insert_swap_toward(blocked: List[int]) -> None:
+            """SABRE-style scoring: pick the swap minimising the summed
+            error-weighted distance of every blocked gate, plus a damped
+            look-ahead term over upcoming mapped gates."""
+            nonlocal swap_count
+            ahead = _lookahead_gates(blocked)
+            candidates: Set[Tuple[int, int]] = set()
+            for node_id in blocked:
+                for q in dag.nodes[node_id].instruction.qubits:
+                    physical = layout.physical(q)
+                    for neighbor in coupling.neighbors(physical):
+                        candidates.add(tuple(sorted((physical, neighbor))))
+            if len(candidates) > 1:
+                candidates.discard(last_swap[0])  # don't undo the last swap
+
+            def _pair_cost(node_id: int, swap: Tuple[int, int]) -> float:
+                a, b = swap
+                pa, pb = (layout.physical(q) for q in dag.nodes[node_id].instruction.qubits)
+                pa = b if pa == a else a if pa == b else pa
+                pb = b if pb == a else a if pb == b else pb
+                return self._error_distance[pa][pb]
+
+            def _score(swap: Tuple[int, int]) -> float:
+                front = sum(_pair_cost(node_id, swap) for node_id in blocked)
+                future = sum(_pair_cost(node_id, swap) for node_id in ahead)
+                return front / len(blocked) + (
+                    0.5 * future / len(ahead) if ahead else 0.0
+                )
+
+            if not candidates:
+                raise ReuseError("no SWAP candidates for blocked gates")
+            a, b = min(candidates, key=lambda swap: (_score(swap), swap))
+            out.swap(a, b)
+            ever_used.update((a, b))
+            layout.swap_physical(a, b)
+            wire_state[a], wire_state[b] = wire_state[b], wire_state[a]
+            last_swap[0] = (a, b)
+            swap_count += 1
+
+        # -- main loop -----------------------------------------------------------------
+
+        while unscheduled:
+            slack = _slack()
+            scheduled_any = False
+            mapping_starved = False
+            blocked: List[int] = []
+            # critical gates first so they grab free wires before delayable
+            # ones (and wires reclaimed mid-round serve later gates)
+            frontier = sorted(_frontier(), key=lambda n: slack.get(n, 0))
+            for node_id in frontier:
+                instruction = dag.nodes[node_id].instruction
+                if instruction is None or instruction.is_directive():
+                    _mark_scheduled(node_id)
+                    scheduled_any = True
+                    continue
+                fully_mapped = all(layout.is_mapped(q) for q in instruction.qubits)
+                if not fully_mapped:
+                    if slack.get(node_id, 0) > 0 and not force_map:
+                        continue  # delay off-critical gates (Step 2)
+                    if not _map_gate_qubits(instruction):
+                        mapping_starved = True
+                        continue  # no free wire yet; retry next round
+                if len(instruction.qubits) == 2:
+                    pa, pb = (layout.physical(q) for q in instruction.qubits)
+                    if not coupling.are_adjacent(pa, pb):
+                        blocked.append(node_id)
+                        continue
+                _emit(node_id)
+                scheduled_any = True
+            if scheduled_any:
+                force_map = False
+                continue
+            if blocked:
+                # bring the blocked frontier one SWAP closer (SABRE scoring)
+                _insert_swap_toward(blocked)
+                force_map = False
+                continue
+            if force_map:
+                if mapping_starved:
+                    raise ReuseError(
+                        "device too small: all physical qubits are live and "
+                        "no wire can be freed (circuit needs more concurrent "
+                        "qubits than the device has)"
+                    )
+                raise ReuseError("SR-CaQR made no progress (internal error)")
+            force_map = True
+
+        return SRCaQRResult(
+            circuit=out,
+            swap_count=swap_count,
+            reuse_count=reuse_count,
+            qubits_used=len(ever_used),
+            depth=out.depth(),
+            duration_dt=circuit_duration_dt(out, self.backend.calibration),
+        )

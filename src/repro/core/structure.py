@@ -1,0 +1,134 @@
+"""Automatic application-type classification (regular vs commuting).
+
+The paper's tool "can handle two different types of applications: the ones
+with non-commuting gates, and the ones with commuting gates" — but the
+user had to know which is which.  This module closes that gap: it
+recognises QAOA-shaped circuits (a Hadamard prep layer, a block of
+mutually commuting diagonal two-qubit gates, an RX mixer layer, terminal
+measurement) and extracts the problem graph + angles, so
+:func:`repro.compile_api.caqr_compile` can dispatch a plain circuit to the
+commuting-gate pipeline automatically.
+
+Recognition is conservative: any instruction outside the expected shape
+makes the extractor return ``None`` and the circuit is treated as regular
+(always sound — the commuting pipeline is an *optimisation*, never a
+requirement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+
+__all__ = ["CommutingStructure", "extract_commuting_structure"]
+
+# diagonal two-qubit gates: all mutually commuting
+_DIAGONAL_2Q = {"rzz", "cz", "cp", "crz"}
+
+
+@dataclass
+class CommutingStructure:
+    """A recognised single-round QAOA-shaped circuit.
+
+    Attributes:
+        graph: the interaction (problem) graph.
+        edge_angles: per-edge cost angle (the rzz/cp parameter; pi for cz).
+        mixer_angles: per-qubit rx angle.
+        measured: qubit -> classical bit of the terminal measurement.
+    """
+
+    graph: nx.Graph
+    edge_angles: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    mixer_angles: Dict[int, float] = field(default_factory=dict)
+    measured: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def uniform_gamma(self) -> Optional[float]:
+        """The common cost angle, when every edge shares one (rzz theta/2)."""
+        values = {round(v, 12) for v in self.edge_angles.values()}
+        return values.pop() / 2.0 if len(values) == 1 else None
+
+    def uniform_beta(self) -> Optional[float]:
+        """The common mixer angle, when every qubit shares one (rx theta/2)."""
+        values = {round(v, 12) for v in self.mixer_angles.values()}
+        return values.pop() / 2.0 if len(values) == 1 else None
+
+
+def extract_commuting_structure(
+    circuit: QuantumCircuit,
+) -> Optional[CommutingStructure]:
+    """Recognise a QAOA-shaped circuit; return its structure or ``None``.
+
+    Accepted per-qubit instruction sequence (barriers ignored):
+
+    1. exactly one ``h``;
+    2. any number of diagonal two-qubit gates (``rzz``/``cz``/``cp``/``crz``)
+       with at most one gate per qubit pair;
+    3. exactly one ``rx`` mixer rotation;
+    4. exactly one terminal ``measure``.
+    """
+    # per-qubit phase machine: 0=expect h, 1=cost gates, 2=mixed, 3=measured
+    phase = [0] * circuit.num_qubits
+    structure = CommutingStructure(graph=nx.Graph())
+    structure.graph.add_nodes_from(range(circuit.num_qubits))
+
+    for instruction in circuit.data:
+        if instruction.is_directive():
+            continue
+        if instruction.condition is not None:
+            return None
+        name = instruction.name
+        if name == "h" and len(instruction.qubits) == 1:
+            q = instruction.qubits[0]
+            if phase[q] != 0:
+                return None
+            phase[q] = 1
+            continue
+        if name in _DIAGONAL_2Q:
+            a, b = instruction.qubits
+            if phase[a] != 1 or phase[b] != 1:
+                return None
+            edge = (min(a, b), max(a, b))
+            if edge in structure.edge_angles:
+                return None  # one gate per pair (single round)
+            angle = instruction.params[0] if instruction.params else 3.141592653589793
+            structure.graph.add_edge(*edge)
+            structure.edge_angles[edge] = float(angle)
+            continue
+        if name == "rx" and len(instruction.qubits) == 1:
+            q = instruction.qubits[0]
+            if phase[q] != 1:
+                return None
+            phase[q] = 2
+            structure.mixer_angles[q] = float(instruction.params[0])
+            continue
+        if name == "measure":
+            q = instruction.qubits[0]
+            if phase[q] != 2:
+                return None
+            phase[q] = 3
+            structure.measured[q] = instruction.clbits[0]
+            continue
+        return None  # anything else breaks the shape
+
+    # every touched qubit must have completed the full lifecycle
+    for q in range(circuit.num_qubits):
+        if phase[q] not in (0, 3):
+            return None
+    touched = [q for q in range(circuit.num_qubits) if phase[q] == 3]
+    if len(touched) < 2 or not structure.edge_angles:
+        return None
+    # untouched wires are idle: restrict the graph to touched qubits only
+    # when they form a 0..k-1 prefix; otherwise bail out (conservative)
+    if touched != list(range(len(touched))):
+        return None
+    if len(touched) != circuit.num_qubits:
+        structure.graph = structure.graph.subgraph(touched).copy()
+    return structure

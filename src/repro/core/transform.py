@@ -1,0 +1,166 @@
+"""Materialise a reuse pair: merge two logical wires through measure+reset.
+
+Given a valid pair ``(source -> target)`` the transformation
+
+1. measures the source qubit (reusing its existing terminal measurement
+   when there is one, otherwise appending a measurement into a fresh
+   classical bit),
+2. resets the wire with a classically controlled X (or the built-in reset
+   when ``reset_style="builtin"``), and
+3. replays every gate of the target qubit on the source's wire,
+
+producing a circuit one qubit narrower.  The instruction order is a
+topological order of the dependency DAG augmented with the new
+measure/reset nodes, so all original dependencies are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.core.conditions import ReuseAnalysis, ReusePair
+from repro.dag.dagcircuit import DAGCircuit
+from repro.exceptions import ReuseError
+
+__all__ = ["ReuseTransformation", "apply_reuse_pair", "apply_reuse_chain"]
+
+# label attached to the instructions a reuse inserts, so analyses can
+# identify them later
+REUSE_LABEL = "caqr-reuse"
+
+
+@dataclass
+class ReuseTransformation:
+    """Result of applying one reuse pair.
+
+    Attributes:
+        circuit: the transformed circuit (one qubit narrower).
+        pair: the pair that was applied (indices refer to the *input*).
+        qubit_map: input qubit index -> output qubit index (the target maps
+            onto the source's new index).
+        measure_clbit: classical bit holding the source's measurement.
+    """
+
+    circuit: QuantumCircuit
+    pair: ReusePair
+    qubit_map: Dict[int, int]
+    measure_clbit: int
+
+
+def _terminal_measure_node(dag: DAGCircuit, qubit: int) -> Optional[int]:
+    """The node id of the source's final measurement, if its last op is one."""
+    nodes = dag.nodes_on_qubit(qubit)
+    if not nodes:
+        return None
+    last = dag.nodes[nodes[-1]].instruction
+    if (
+        last is not None
+        and last.name == "measure"
+        and last.qubits == (qubit,)
+        and last.condition is None
+    ):
+        return nodes[-1]
+    return None
+
+
+def apply_reuse_pair(
+    circuit: QuantumCircuit,
+    pair: ReusePair,
+    reset_style: str = "cif",
+    validate: bool = True,
+) -> ReuseTransformation:
+    """Apply ``(source -> target)`` to *circuit*.
+
+    Args:
+        circuit: input logical circuit.
+        pair: the reuse pair; must satisfy Conditions 1 and 2.
+        reset_style: ``"cif"`` (measure + conditional X, the paper's
+            optimised form) or ``"builtin"`` (measure + reset).
+        validate: skip the validity check when the caller already ran it.
+
+    Raises:
+        ReuseError: when the pair violates either condition.
+    """
+    if reset_style not in ("cif", "builtin"):
+        raise ReuseError(f"unknown reset style {reset_style!r}")
+    if validate:
+        analysis = ReuseAnalysis(circuit)
+        if not analysis.condition1(pair):
+            raise ReuseError(f"{pair} violates Condition 1 (shared gate)")
+        if not analysis.condition2(pair):
+            raise ReuseError(f"{pair} violates Condition 2 (dependency cycle)")
+
+    source, target = pair.source, pair.target
+    dag = DAGCircuit.from_circuit(circuit)
+    source_nodes = dag.nodes_on_qubit(source)
+    target_nodes = dag.nodes_on_qubit(target)
+    num_clbits = circuit.num_clbits
+
+    # 1. locate or create the source's measurement
+    measure_node = _terminal_measure_node(dag, source)
+    if measure_node is not None:
+        clbit = dag.nodes[measure_node].instruction.clbits[0]
+    else:
+        clbit = num_clbits
+        num_clbits += 1
+        measure_instruction = Instruction(
+            "measure", (source,), clbits=(clbit,), label=REUSE_LABEL
+        )
+        measure_node = dag.add_instruction_node(measure_instruction, tag=REUSE_LABEL)
+        for node_id in source_nodes:
+            dag.add_edge(node_id, measure_node)
+
+    # 2. the reset: conditional X (or built-in reset)
+    if reset_style == "cif":
+        reset_instruction = Instruction(
+            "x", (source,), condition=(clbit, 1), label=REUSE_LABEL
+        )
+    else:
+        reset_instruction = Instruction("reset", (source,), label=REUSE_LABEL)
+    reset_node = dag.add_instruction_node(reset_instruction, tag=REUSE_LABEL)
+    dag.add_edge(measure_node, reset_node)
+    for node_id in source_nodes:
+        if node_id != measure_node:
+            dag.add_edge(node_id, reset_node)
+
+    # 3. the target's gates run after the reset
+    for node_id in target_nodes:
+        dag.add_edge(reset_node, node_id)
+    if dag.has_cycle():  # defensive: validate=False callers
+        raise ReuseError(f"{pair} creates a dependency cycle")
+
+    # 4. emit in topological order with the target wire merged onto source
+    qubit_map: Dict[int, int] = {}
+    for q in range(circuit.num_qubits):
+        if q == target:
+            continue
+        qubit_map[q] = q - (1 if q > target else 0)
+    qubit_map[target] = qubit_map[source]
+
+    out = QuantumCircuit(circuit.num_qubits - 1, num_clbits, circuit.name)
+    for node_id in dag.topological_order():
+        instruction = dag.nodes[node_id].instruction
+        if instruction is None:
+            continue
+        out.append(instruction.remapped(qubit_map, None))
+    return ReuseTransformation(out, pair, qubit_map, clbit)
+
+
+def apply_reuse_chain(
+    circuit: QuantumCircuit,
+    pairs: List[ReusePair],
+    reset_style: str = "cif",
+) -> QuantumCircuit:
+    """Apply several reuse pairs in sequence.
+
+    Pair indices refer to the wire numbering *at the time each pair is
+    applied* (the numbering shifts as wires merge), matching the paper's
+    one-pair-at-a-time greedy loop.
+    """
+    current = circuit
+    for pair in pairs:
+        current = apply_reuse_pair(current, pair, reset_style=reset_style).circuit
+    return current

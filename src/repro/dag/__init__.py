@@ -1,0 +1,36 @@
+"""Dependency-DAG representation and analysis."""
+
+from repro.dag.analysis import (
+    alap_finish_times,
+    asap_finish_times,
+    critical_path_length,
+    critical_path_nodes,
+    dag_depth,
+    dag_duration,
+    node_weight_depth,
+    node_weight_duration,
+    slack,
+)
+from repro.dag.dagcircuit import DAGCircuit, DAGNode
+from repro.dag.reachability import (
+    descendants_bitsets,
+    qubit_dependency_matrix,
+    reaches,
+)
+
+__all__ = [
+    "DAGCircuit",
+    "DAGNode",
+    "asap_finish_times",
+    "alap_finish_times",
+    "critical_path_length",
+    "critical_path_nodes",
+    "slack",
+    "dag_depth",
+    "dag_duration",
+    "node_weight_depth",
+    "node_weight_duration",
+    "descendants_bitsets",
+    "qubit_dependency_matrix",
+    "reaches",
+]

@@ -1,0 +1,262 @@
+"""Wire-ordered dependency DAG over circuit instructions.
+
+Every instruction becomes a node; a directed edge runs from node *a* to
+node *b* when *b* is the next instruction after *a* on some shared wire
+(qubit, classical bit, or a classical bit read through a condition).  This
+is the gate-dependency DAG the paper analyses: reuse Condition 2, critical
+paths, and the dummy measurement node `D` all live here.
+
+The DAG also supports *virtual* nodes — nodes with no instruction but an
+explicit duration — used to evaluate candidate reuse pairs without
+materialising the transformed circuit (paper Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.exceptions import DAGError
+
+__all__ = ["DAGNode", "DAGCircuit"]
+
+
+@dataclass
+class DAGNode:
+    """One node of the dependency DAG.
+
+    Attributes:
+        node_id: unique integer id within the owning DAG.
+        instruction: the circuit instruction, or ``None`` for virtual nodes.
+        weight_override: duration to use for virtual nodes (ignored when an
+            instruction is present).
+        tag: free-form annotation; CaQR tags its dummy nodes ``"reuse"``.
+    """
+
+    node_id: int
+    instruction: Optional[Instruction]
+    weight_override: int = 0
+    tag: Optional[str] = None
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.instruction is None
+
+    def qubits(self) -> Tuple[int, ...]:
+        return self.instruction.qubits if self.instruction else ()
+
+    def name(self) -> str:
+        return self.instruction.name if self.instruction else (self.tag or "virtual")
+
+
+class DAGCircuit:
+    """Mutable dependency DAG with adjacency maps and wire bookkeeping."""
+
+    def __init__(self, num_qubits: int = 0, num_clbits: int = 0):
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.nodes: Dict[int, DAGNode] = {}
+        self._succ: Dict[int, Set[int]] = {}
+        self._pred: Dict[int, Set[int]] = {}
+        self._next_id = 0
+        # insertion order of node ids, used for stable topological sorting
+        self._order: List[int] = []
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
+        """Build the dependency DAG of *circuit* (directives included)."""
+        dag = cls(circuit.num_qubits, circuit.num_clbits)
+        last_on_wire: Dict[Tuple[str, int], int] = {}
+        for instruction in circuit.data:
+            node_id = dag._add_node(DAGNode(0, instruction))
+            for wire in _wires(instruction):
+                previous = last_on_wire.get(wire)
+                if previous is not None and previous != node_id:
+                    dag.add_edge(previous, node_id)
+                last_on_wire[wire] = node_id
+        return dag
+
+    def _add_node(self, node: DAGNode) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        node.node_id = node_id
+        self.nodes[node_id] = node
+        self._succ[node_id] = set()
+        self._pred[node_id] = set()
+        self._order.append(node_id)
+        return node_id
+
+    def add_instruction_node(self, instruction: Instruction, tag: Optional[str] = None) -> int:
+        """Add a detached node wrapping *instruction*; return its id."""
+        return self._add_node(DAGNode(0, instruction, tag=tag))
+
+    def add_virtual_node(self, weight: int = 0, tag: Optional[str] = None) -> int:
+        """Add a detached instruction-less node with an explicit duration."""
+        return self._add_node(DAGNode(0, None, weight_override=weight, tag=tag))
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add dependency edge *source* → *target*."""
+        if source not in self.nodes or target not in self.nodes:
+            raise DAGError(f"unknown node in edge ({source}, {target})")
+        if source == target:
+            raise DAGError("self-loop edges are not allowed")
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and all incident edges."""
+        if node_id not in self.nodes:
+            raise DAGError(f"unknown node {node_id}")
+        for successor in self._succ.pop(node_id):
+            self._pred[successor].discard(node_id)
+        for predecessor in self._pred.pop(node_id):
+            self._succ[predecessor].discard(node_id)
+        del self.nodes[node_id]
+        self._order.remove(node_id)
+
+    def copy(self) -> "DAGCircuit":
+        """Structural copy (instructions are shared, graph is fresh)."""
+        out = DAGCircuit(self.num_qubits, self.num_clbits)
+        out.nodes = {
+            node_id: DAGNode(
+                node_id, node.instruction, node.weight_override, node.tag
+            )
+            for node_id, node in self.nodes.items()
+        }
+        out._succ = {node_id: set(succ) for node_id, succ in self._succ.items()}
+        out._pred = {node_id: set(pred) for node_id, pred in self._pred.items()}
+        out._next_id = self._next_id
+        out._order = list(self._order)
+        return out
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def successors(self, node_id: int) -> Set[int]:
+        return self._succ[node_id]
+
+    def predecessors(self, node_id: int) -> Set[int]:
+        return self._pred[node_id]
+
+    def in_degree(self, node_id: int) -> int:
+        return len(self._pred[node_id])
+
+    def out_degree(self, node_id: int) -> int:
+        return len(self._succ[node_id])
+
+    def front_layer(self) -> List[int]:
+        """Node ids with no unresolved dependencies (in-degree 0)."""
+        return [node_id for node_id in self._order if not self._pred[node_id]]
+
+    def op_nodes(self, include_directives: bool = False) -> List[int]:
+        """Instruction-bearing node ids in insertion order."""
+        out = []
+        for node_id in self._order:
+            node = self.nodes[node_id]
+            if node.instruction is None:
+                continue
+            if not include_directives and node.instruction.is_directive():
+                continue
+            out.append(node_id)
+        return out
+
+    def nodes_on_qubit(self, qubit: int) -> List[int]:
+        """Instruction nodes touching *qubit*, in insertion order."""
+        return [
+            node_id
+            for node_id in self._order
+            if self.nodes[node_id].instruction is not None
+            and qubit in self.nodes[node_id].instruction.qubits
+        ]
+
+    # -- ordering ----------------------------------------------------------------------
+
+    def topological_order(self) -> List[int]:
+        """Kahn's algorithm with insertion-order tie-breaking.
+
+        Raises:
+            DAGError: when the graph contains a cycle.
+        """
+        in_degree = {node_id: len(self._pred[node_id]) for node_id in self.nodes}
+        import heapq
+
+        position = {node_id: i for i, node_id in enumerate(self._order)}
+        ready = [position[n] for n in self.nodes if in_degree[n] == 0]
+        heapq.heapify(ready)
+        by_position = {position[n]: n for n in self.nodes}
+        out: List[int] = []
+        while ready:
+            node_id = by_position[heapq.heappop(ready)]
+            out.append(node_id)
+            for successor in self._succ[node_id]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    heapq.heappush(ready, position[successor])
+        if len(out) != len(self.nodes):
+            raise DAGError("cycle detected in DAG")
+        return out
+
+    def has_cycle(self) -> bool:
+        """True when the graph is not a DAG."""
+        try:
+            self.topological_order()
+        except DAGError:
+            return True
+        return False
+
+    def layers(self) -> Iterator[List[int]]:
+        """Yield antichains of simultaneously executable nodes (ASAP levels)."""
+        in_degree = {node_id: len(self._pred[node_id]) for node_id in self.nodes}
+        current = [node_id for node_id in self._order if in_degree[node_id] == 0]
+        emitted = 0
+        while current:
+            yield current
+            emitted += len(current)
+            upcoming: List[int] = []
+            for node_id in current:
+                for successor in sorted(self._succ[node_id]):
+                    in_degree[successor] -= 1
+                    if in_degree[successor] == 0:
+                        upcoming.append(successor)
+            current = upcoming
+        if emitted != len(self.nodes):
+            raise DAGError("cycle detected in DAG")
+
+    # -- conversion -------------------------------------------------------------------
+
+    def to_circuit(
+        self,
+        num_qubits: Optional[int] = None,
+        num_clbits: Optional[int] = None,
+        name: str = "circuit",
+    ) -> QuantumCircuit:
+        """Linearise back to a circuit in stable topological order.
+
+        Virtual nodes are dropped; instruction nodes are emitted verbatim.
+        """
+        circuit = QuantumCircuit(
+            num_qubits if num_qubits is not None else self.num_qubits,
+            num_clbits if num_clbits is not None else self.num_clbits,
+            name,
+        )
+        for node_id in self.topological_order():
+            node = self.nodes[node_id]
+            if node.instruction is not None:
+                circuit.append(node.instruction.copy())
+        return circuit
+
+
+def _wires(instruction: Instruction) -> List[Tuple[str, int]]:
+    wires: List[Tuple[str, int]] = [("q", q) for q in instruction.qubits]
+    wires.extend(("c", c) for c in instruction.clbits)
+    if instruction.condition is not None:
+        clbit = instruction.condition[0]
+        if ("c", clbit) not in wires:
+            wires.append(("c", clbit))
+    return wires

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid circuit operations."""
+
+
+class QasmError(CircuitError):
+    """Raised when OpenQASM 2 text cannot be lexed or parsed."""
+
+
+class DAGError(ReproError):
+    """Raised for inconsistent DAG operations (unknown nodes, cycles, ...)."""
+
+
+class HardwareError(ReproError):
+    """Raised for invalid coupling maps, calibrations, or backends."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a transpilation pass cannot complete."""
+
+
+class SimulationError(ReproError):
+    """Raised by the statevector simulator and samplers."""
+
+
+class ReuseError(ReproError):
+    """Raised by the CaQR passes for invalid reuse requests.
+
+    Examples include asking for a qubit budget below the circuit's reuse
+    floor, or attempting to apply a reuse pair that violates Condition 1
+    or Condition 2 of the paper.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised by benchmark/workload generators for invalid parameters."""

@@ -1,0 +1,47 @@
+"""Hardware models: coupling maps, topologies, calibration, backends."""
+
+from repro.hardware.backends import Backend, generic_backend
+from repro.hardware.calibration import Calibration, synthetic_calibration
+from repro.hardware.coupling import CouplingMap
+from repro.hardware.mumbai import MUMBAI_SEED, ibm_mumbai, scaled_heavy_hex_backend
+from repro.hardware.serialization import (
+    backend_from_json,
+    backend_to_json,
+    calibration_from_dict,
+    calibration_to_dict,
+)
+from repro.hardware.topologies import (
+    FALCON_27_EDGES,
+    falcon_27,
+    full,
+    grid,
+    heavy_hex,
+    line,
+    ring,
+    scaled_heavy_hex,
+    star,
+)
+
+__all__ = [
+    "Backend",
+    "generic_backend",
+    "Calibration",
+    "synthetic_calibration",
+    "CouplingMap",
+    "ibm_mumbai",
+    "scaled_heavy_hex_backend",
+    "MUMBAI_SEED",
+    "line",
+    "ring",
+    "grid",
+    "star",
+    "full",
+    "heavy_hex",
+    "scaled_heavy_hex",
+    "falcon_27",
+    "FALCON_27_EDGES",
+    "backend_to_json",
+    "backend_from_json",
+    "calibration_to_dict",
+    "calibration_from_dict",
+]

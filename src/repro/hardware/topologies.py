@@ -1,0 +1,122 @@
+"""Topology generators: line, ring, grid, star, full, and IBM heavy-hex.
+
+The heavy-hex lattice is a hexagonal lattice with one extra qubit on every
+edge, giving vertex degrees of at most 3.  ``heavy_hex`` builds it by
+subdividing :func:`networkx.hexagonal_lattice_graph`; ``scaled_heavy_hex``
+grows the lattice until it holds a requested number of qubits (the paper's
+"scaled heavy-hex architecture" used for large QAOA instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.exceptions import HardwareError
+from repro.hardware.coupling import CouplingMap
+
+__all__ = [
+    "line",
+    "ring",
+    "grid",
+    "star",
+    "full",
+    "heavy_hex",
+    "scaled_heavy_hex",
+    "FALCON_27_EDGES",
+    "falcon_27",
+]
+
+
+def line(num_qubits: int) -> CouplingMap:
+    """A 1-D chain of qubits."""
+    return CouplingMap(num_qubits, [(q, q + 1) for q in range(num_qubits - 1)])
+
+
+def ring(num_qubits: int) -> CouplingMap:
+    """A cycle of qubits."""
+    if num_qubits < 3:
+        raise HardwareError("ring needs at least three qubits")
+    edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+    return CouplingMap(num_qubits, edges)
+
+
+def grid(rows: int, cols: int) -> CouplingMap:
+    """A rows x cols square lattice."""
+    if rows < 1 or cols < 1:
+        raise HardwareError("grid dimensions must be positive")
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((index(r, c), index(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((index(r, c), index(r + 1, c)))
+    return CouplingMap(rows * cols, edges)
+
+
+def star(num_qubits: int) -> CouplingMap:
+    """Qubit 0 coupled to every other qubit."""
+    if num_qubits < 2:
+        raise HardwareError("star needs at least two qubits")
+    return CouplingMap(num_qubits, [(0, q) for q in range(1, num_qubits)])
+
+
+def full(num_qubits: int) -> CouplingMap:
+    """All-to-all connectivity (useful to isolate logical-level effects)."""
+    edges = list(itertools.combinations(range(num_qubits), 2))
+    return CouplingMap(num_qubits, edges)
+
+
+def heavy_hex(rows: int, cols: int) -> CouplingMap:
+    """Heavy-hex lattice: subdivided hexagonal lattice of *rows* x *cols* cells.
+
+    Every vertex of the hexagonal lattice keeps degree <= 3 and every edge
+    carries one extra degree-2 qubit, matching IBM's device family.
+    """
+    if rows < 1 or cols < 1:
+        raise HardwareError("heavy_hex dimensions must be positive")
+    hexagonal = nx.hexagonal_lattice_graph(rows, cols)
+    # subdivide every edge once: the "heavy" qubits
+    heavy = nx.Graph()
+    heavy.add_nodes_from(hexagonal.nodes)
+    for a, b in hexagonal.edges:
+        midpoint = ("mid", a, b)
+        heavy.add_edge(a, midpoint)
+        heavy.add_edge(midpoint, b)
+    relabel = {node: i for i, node in enumerate(sorted(heavy.nodes, key=str))}
+    edges = [(relabel[a], relabel[b]) for a, b in heavy.edges]
+    return CouplingMap(len(relabel), edges)
+
+
+def scaled_heavy_hex(min_qubits: int) -> CouplingMap:
+    """Smallest square-ish heavy-hex lattice with at least *min_qubits* qubits."""
+    if min_qubits < 1:
+        raise HardwareError("min_qubits must be positive")
+    size = 1
+    while True:
+        coupling = heavy_hex(size, size)
+        if coupling.num_qubits >= min_qubits:
+            return coupling
+        size += 1
+
+
+# The 27-qubit IBM Falcon coupling (ibmq_mumbai and siblings): three
+# horizontal heavy chains linked by vertical rungs, max degree 3.
+FALCON_27_EDGES: List[Tuple[int, int]] = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+]
+
+
+def falcon_27() -> CouplingMap:
+    """The 27-qubit heavy-hex coupling of IBM Mumbai-class devices."""
+    return CouplingMap(27, FALCON_27_EDGES)

@@ -1,0 +1,55 @@
+"""Simulate physical (device-width) circuits under backend noise.
+
+Physical circuits index the device's qubits, so the statevector would be
+device-sized; this helper compacts the circuit onto its used wires and
+remaps the backend noise model through the same renaming, preserving the
+per-link / per-qubit error variability SR-CaQR optimised against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.backends import Backend
+from repro.sim.noise import NoiseModel
+from repro.sim.statevector import run_counts
+
+__all__ = ["run_physical_counts", "compacted_with_noise"]
+
+
+def compacted_with_noise(
+    circuit: QuantumCircuit,
+    backend: Backend,
+    relaxation: bool = True,
+):
+    """Return ``(compacted circuit, remapped noise model)`` for *circuit*."""
+    used = circuit.used_qubits()
+    mapping = {q: i for i, q in enumerate(used)}
+    noise = NoiseModel.from_backend(backend, relaxation=relaxation)
+    return circuit.compacted(), noise.remapped(mapping)
+
+
+def run_physical_counts(
+    circuit: QuantumCircuit,
+    backend: Backend,
+    shots: int = 1024,
+    seed: Optional[int] = None,
+    relaxation: bool = True,
+    noise: Optional[NoiseModel] = None,
+) -> Counter:
+    """Noisy counts for a physical circuit compiled for *backend*.
+
+    Args:
+        circuit: device-width circuit (e.g. from ``transpile`` or SR-CaQR).
+        backend: provides the noise model (unless *noise* overrides it).
+        relaxation: include T1/T2 decay over busy + idle time.
+        noise: pre-built noise model in *device* indexing (remapped here).
+    """
+    used = circuit.used_qubits()
+    mapping = {q: i for i, q in enumerate(used)}
+    model = noise or NoiseModel.from_backend(backend, relaxation=relaxation)
+    return run_counts(
+        circuit.compacted(), shots=shots, seed=seed, noise=model.remapped(mapping)
+    )

@@ -1,0 +1,94 @@
+"""Tensored readout-error mitigation.
+
+Real-machine results (the paper's Table 3 / Figs. 15-16 setting) are
+normally post-processed with measurement-error mitigation: each qubit's
+readout is modelled by a 2x2 confusion matrix and the sampled distribution
+is multiplied by the tensored inverse.  This module implements the
+independent-qubit (tensored) variant, which matches the noise model the
+simulator applies (per-qubit symmetric flips).
+
+The inversion can produce small negative quasi-probabilities; they are
+clipped and the result renormalised (the standard least-intrusive fix).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["confusion_matrix", "inverse_confusion", "mitigate_counts"]
+
+
+def confusion_matrix(flip_probability: float) -> np.ndarray:
+    """Symmetric single-bit readout confusion matrix.
+
+    ``M[recorded, actual]``: column *actual* lists the probabilities of
+    each recorded value.
+    """
+    if not 0.0 <= flip_probability < 0.5:
+        raise SimulationError(
+            f"flip probability must be in [0, 0.5), got {flip_probability}"
+        )
+    e = flip_probability
+    return np.array([[1 - e, e], [e, 1 - e]])
+
+
+def inverse_confusion(flip_probability: float) -> np.ndarray:
+    """Closed-form inverse of :func:`confusion_matrix`."""
+    e = flip_probability
+    matrix = confusion_matrix(e)  # validates the range
+    scale = 1.0 / (1.0 - 2.0 * e)
+    return scale * np.array([[1 - e, -e], [-e, 1 - e]])
+
+
+def mitigate_counts(
+    counts: Mapping[str, int],
+    flip_probabilities: Sequence[float],
+) -> Dict[str, float]:
+    """Apply tensored readout mitigation to a counts dictionary.
+
+    Args:
+        counts: sampled counts; keys are bitstrings (clbit 0 leftmost).
+        flip_probabilities: per-classical-bit readout flip probability, in
+            key order (length must match the key width).
+
+    Returns:
+        A normalised quasi-probability distribution (negatives clipped).
+    """
+    if not counts:
+        raise SimulationError("empty counts")
+    width = len(next(iter(counts)))
+    if any(len(key) != width for key in counts):
+        raise SimulationError("inconsistent bitstring widths in counts")
+    if len(flip_probabilities) != width:
+        raise SimulationError(
+            f"need {width} flip probabilities, got {len(flip_probabilities)}"
+        )
+    total = sum(counts.values())
+    distribution: Dict[str, float] = {
+        key: value / total for key, value in counts.items()
+    }
+    # apply the per-bit inverse, one bit at a time (sparse-friendly)
+    for bit, flip in enumerate(flip_probabilities):
+        if flip == 0.0:
+            continue
+        inverse = inverse_confusion(flip)
+        updated: Dict[str, float] = {}
+        for key, probability in distribution.items():
+            recorded = int(key[bit])
+            for actual in (0, 1):
+                weight = inverse[actual, recorded]
+                if weight == 0.0:
+                    continue
+                new_key = key[:bit] + str(actual) + key[bit + 1 :]
+                updated[new_key] = updated.get(new_key, 0.0) + weight * probability
+        distribution = updated
+    # clip tiny negatives, renormalise
+    clipped = {key: max(p, 0.0) for key, p in distribution.items() if p > 1e-12}
+    norm = sum(clipped.values())
+    if norm <= 0:
+        raise SimulationError("mitigation produced an empty distribution")
+    return {key: p / norm for key, p in clipped.items()}

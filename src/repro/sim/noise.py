@@ -1,0 +1,155 @@
+"""Noise models for the trajectory simulator.
+
+A :class:`NoiseModel` answers three questions during simulation:
+
+* what stochastic Pauli (depolarizing-style) error probability follows a
+  gate on the given *physical* qubits,
+* what readout flip probability a measurement on a qubit has, and
+* what T1/T2 (in dt) drive relaxation over idle and busy time.
+
+``NoiseModel.from_backend`` pulls all three from a backend calibration so
+the simulated "real machine" experiments (paper Table 3, Figs. 15-16) see
+the exact error variability SR-CaQR optimised against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.circuit import gates
+from repro.hardware.backends import Backend
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass
+class NoiseModel:
+    """Per-qubit / per-link error rates for trajectory simulation."""
+
+    one_qubit_error: Dict[int, float] = field(default_factory=dict)
+    two_qubit_error: Dict[FrozenSet[int], float] = field(default_factory=dict)
+    readout: Dict[int, float] = field(default_factory=dict)
+    t1: Dict[int, float] = field(default_factory=dict)
+    t2: Dict[int, float] = field(default_factory=dict)
+    default_one_qubit_error: float = 0.0
+    default_two_qubit_error: float = 0.0
+    default_readout: float = 0.0
+    relaxation_enabled: bool = False
+    # error applied to an uncalibrated (non-adjacent) 2Q pair, e.g. when a
+    # logical circuit is simulated directly; defaults to the mean link error
+    fallback_two_qubit_error: Optional[float] = None
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        """A model with no errors (useful to exercise the noisy code path)."""
+        return cls()
+
+    @classmethod
+    def uniform(
+        cls,
+        one_qubit_error: float = 0.0005,
+        two_qubit_error: float = 0.01,
+        readout: float = 0.02,
+    ) -> "NoiseModel":
+        """Flat error rates everywhere (no variability)."""
+        return cls(
+            default_one_qubit_error=one_qubit_error,
+            default_two_qubit_error=two_qubit_error,
+            default_readout=readout,
+        )
+
+    @classmethod
+    def from_backend(cls, backend: Backend, relaxation: bool = True) -> "NoiseModel":
+        """Build from a backend calibration (per-link CX error, readout, T1/T2)."""
+        calibration = backend.calibration
+        model = cls(relaxation_enabled=relaxation)
+        for a, b in backend.coupling.edges:
+            model.two_qubit_error[frozenset((a, b))] = calibration.get_cx_error(a, b)
+        for q in range(backend.num_qubits):
+            model.one_qubit_error[q] = calibration.get_sq_error(q)
+            model.readout[q] = calibration.get_readout_error(q)
+            model.t1[q] = calibration.get_t1(q)
+            model.t2[q] = calibration.get_t2(q)
+        if model.two_qubit_error:
+            model.fallback_two_qubit_error = sum(
+                model.two_qubit_error.values()
+            ) / len(model.two_qubit_error)
+        return model
+
+    # -- queries --------------------------------------------------------------------
+
+    def gate_error(self, name: str, qubits: Tuple[int, ...]) -> float:
+        """Stochastic Pauli probability applied after gate *name*."""
+        if gates.is_directive(name) or name in ("measure", "reset", "delay"):
+            return 0.0
+        if len(qubits) == 1:
+            return self.one_qubit_error.get(qubits[0], self.default_one_qubit_error)
+        if len(qubits) == 2:
+            key = frozenset(qubits)
+            if key in self.two_qubit_error:
+                error = self.two_qubit_error[key]
+            elif self.fallback_two_qubit_error is not None:
+                error = self.fallback_two_qubit_error
+            else:
+                error = self.default_two_qubit_error
+            # SWAP costs three CX worth of error
+            return min(3 * error, 1.0) if name == "swap" else error
+        # wider gates: sum the pairwise default (rare; ccx pre-decomposed)
+        return min(self.default_two_qubit_error * len(qubits), 1.0)
+
+    def readout_error(self, qubit: int) -> float:
+        return self.readout.get(qubit, self.default_readout)
+
+    def t1_dt(self, qubit: int) -> float:
+        return self.t1.get(qubit, float("inf"))
+
+    def t2_dt(self, qubit: int) -> float:
+        return self.t2.get(qubit, float("inf"))
+
+    def remapped(self, qubit_map: Dict[int, int]) -> "NoiseModel":
+        """Translate qubit indices through *qubit_map* (e.g. compaction).
+
+        Physical circuits are device-wide; simulating them requires
+        compacting onto the used wires, and the noise model must follow
+        the same renaming so per-link/per-qubit error variability is
+        preserved.  Entries whose qubits are absent from the map are
+        dropped (those wires are not simulated).
+        """
+        out = NoiseModel(
+            default_one_qubit_error=self.default_one_qubit_error,
+            default_two_qubit_error=self.default_two_qubit_error,
+            default_readout=self.default_readout,
+            relaxation_enabled=self.relaxation_enabled,
+            fallback_two_qubit_error=self.fallback_two_qubit_error,
+        )
+        for q, error in self.one_qubit_error.items():
+            if q in qubit_map:
+                out.one_qubit_error[qubit_map[q]] = error
+        for edge, error in self.two_qubit_error.items():
+            a, b = tuple(edge)
+            if a in qubit_map and b in qubit_map:
+                out.two_qubit_error[frozenset((qubit_map[a], qubit_map[b]))] = error
+        for table_in, table_out in (
+            (self.readout, out.readout),
+            (self.t1, out.t1),
+            (self.t2, out.t2),
+        ):
+            for q, value in table_in.items():
+                if q in qubit_map:
+                    table_out[qubit_map[q]] = value
+        return out
+
+    def is_trivial(self) -> bool:
+        """True when the model can never produce an error."""
+        return (
+            not self.relaxation_enabled
+            and self.default_one_qubit_error == 0
+            and self.default_two_qubit_error == 0
+            and self.default_readout == 0
+            and not any(self.one_qubit_error.values())
+            and not any(self.two_qubit_error.values())
+            and not any(self.readout.values())
+        )

@@ -1,0 +1,330 @@
+"""Trajectory statevector simulator with dynamic-circuit support.
+
+Executes mid-circuit measurement, reset, and classically conditioned gates
+— the operations qubit reuse is built from.  Supports optional noise
+(stochastic Pauli errors, readout flips, and T1/T2 relaxation driven by a
+per-qubit wire clock), in which case every shot is an independent quantum
+trajectory.
+
+Bit-ordering conventions (documented, deliberate):
+
+* basis index bit of qubit ``q`` is the ``q``-th *most significant* bit of
+  the ``2**n`` statevector index;
+* counts keys list classical bit 0 leftmost: key ``"01"`` means clbit 0
+  read 0 and clbit 1 read 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit import gates
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.sim.noise import NoiseModel
+
+__all__ = ["Statevector", "run_counts", "final_statevector"]
+
+_PAULIS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": gates.gate_matrix("x"),
+    "Y": gates.gate_matrix("y"),
+    "Z": gates.gate_matrix("z"),
+}
+_PAULI_1Q = ["X", "Y", "Z"]
+_PAULI_2Q = [
+    a + b for a in "IXYZ" for b in "IXYZ" if a + b != "II"
+]
+
+
+class Statevector:
+    """A mutable *n*-qubit pure state."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 0 or num_qubits > 26:
+            raise SimulationError(f"cannot simulate {num_qubits} qubits")
+        self.num_qubits = num_qubits
+        self.amplitudes = np.zeros(2**num_qubits, dtype=np.complex128)
+        self.amplitudes[0] = 1.0
+
+    # -- linear algebra ---------------------------------------------------------
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2^k x 2^k`` unitary to the given qubits (gate order)."""
+        k = len(qubits)
+        if matrix.shape != (2**k, 2**k):
+            raise SimulationError("matrix size does not match qubit count")
+        n = self.num_qubits
+        tensor = self.amplitudes.reshape([2] * n)
+        axes = list(qubits)
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shaped = tensor.reshape(2**k, -1)
+        shaped = matrix @ shaped
+        tensor = shaped.reshape([2] * n)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        self.amplitudes = np.ascontiguousarray(tensor).reshape(2**n)
+
+    def probability_of_one(self, qubit: int) -> float:
+        """P(measuring |1>) on *qubit*."""
+        tensor = self.amplitudes.reshape([2] * self.num_qubits)
+        slice_one = np.moveaxis(tensor, qubit, 0)[1]
+        return float(np.sum(np.abs(slice_one) ** 2))
+
+    def collapse(self, qubit: int, outcome: int) -> None:
+        """Project *qubit* onto *outcome* and renormalise."""
+        tensor = self.amplitudes.reshape([2] * self.num_qubits)
+        moved = np.moveaxis(tensor, qubit, 0)
+        moved[1 - outcome] = 0.0
+        self.amplitudes = np.ascontiguousarray(
+            np.moveaxis(moved, 0, qubit)
+        ).reshape(2**self.num_qubits)
+        norm = np.linalg.norm(self.amplitudes)
+        if norm < 1e-12:
+            raise SimulationError("state collapsed to zero vector")
+        self.amplitudes /= norm
+
+    def measure(self, qubit: int, rng: random.Random) -> int:
+        """Sample a computational-basis outcome and collapse."""
+        p1 = self.probability_of_one(qubit)
+        outcome = 1 if rng.random() < p1 else 0
+        self.collapse(qubit, outcome)
+        return outcome
+
+    def reset(self, qubit: int, rng: random.Random) -> None:
+        """Measure-and-discard, then force the wire to |0>."""
+        outcome = self.measure(qubit, rng)
+        if outcome == 1:
+            self.apply_matrix(_PAULIS["X"], (qubit,))
+
+    def apply_kraus(
+        self, kraus: Sequence[np.ndarray], qubit: int, rng: random.Random
+    ) -> None:
+        """Sample one single-qubit Kraus branch and renormalise."""
+        draw = rng.random()
+        cumulative = 0.0
+        for index, operator in enumerate(kraus):
+            candidate = self._candidate(operator, qubit)
+            weight = float(np.sum(np.abs(candidate) ** 2))
+            cumulative += weight
+            if draw < cumulative or index == len(kraus) - 1:
+                norm = math.sqrt(weight) if weight > 1e-15 else 1.0
+                self.amplitudes = candidate / norm
+                return
+
+    def _candidate(self, operator: np.ndarray, qubit: int) -> np.ndarray:
+        tensor = self.amplitudes.reshape([2] * self.num_qubits)
+        tensor = np.moveaxis(tensor, qubit, 0)
+        shaped = tensor.reshape(2, -1)
+        shaped = operator @ shaped
+        tensor = shaped.reshape([2] * self.num_qubits)
+        tensor = np.moveaxis(tensor, 0, qubit)
+        return np.ascontiguousarray(tensor).reshape(2**self.num_qubits)
+
+    def probabilities(self) -> np.ndarray:
+        """The full ``2^n`` probability vector."""
+        return np.abs(self.amplitudes) ** 2
+
+
+def _relax(
+    state: Statevector,
+    qubit: int,
+    elapsed_dt: float,
+    t1_dt: float,
+    t2_dt: float,
+    rng: random.Random,
+) -> None:
+    """Thermal relaxation over *elapsed_dt* as amplitude damping + dephasing."""
+    if elapsed_dt <= 0:
+        return
+    if math.isfinite(t1_dt) and t1_dt > 0:
+        gamma = 1.0 - math.exp(-elapsed_dt / t1_dt)
+        if gamma > 0:
+            k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=np.complex128)
+            k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=np.complex128)
+            state.apply_kraus([k0, k1], qubit, rng)
+    if math.isfinite(t2_dt) and t2_dt > 0:
+        # pure-dephasing rate beyond what T1 already causes
+        rate = max(1.0 / t2_dt - 0.5 / t1_dt if math.isfinite(t1_dt) else 1.0 / t2_dt, 0.0)
+        p_flip = 0.5 * (1.0 - math.exp(-elapsed_dt * rate))
+        if rng.random() < p_flip:
+            state.apply_matrix(_PAULIS["Z"], (qubit,))
+
+
+def _apply_pauli_error(
+    state: Statevector,
+    qubits: Tuple[int, ...],
+    probability: float,
+    rng: random.Random,
+) -> None:
+    """Depolarizing-style stochastic Pauli error on 1 or 2 qubits."""
+    if probability <= 0 or rng.random() >= probability:
+        return
+    if len(qubits) == 1:
+        label = rng.choice(_PAULI_1Q)
+        state.apply_matrix(_PAULIS[label], qubits)
+    else:
+        label = rng.choice(_PAULI_2Q)
+        for pauli, qubit in zip(label, qubits):
+            if pauli != "I":
+                state.apply_matrix(_PAULIS[pauli], (qubit,))
+
+
+def _run_trajectory(
+    circuit: QuantumCircuit,
+    noise: Optional[NoiseModel],
+    rng: random.Random,
+) -> List[int]:
+    """One shot: returns final classical bits."""
+    state = Statevector(circuit.num_qubits)
+    clbits = [0] * circuit.num_clbits
+    clock: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+    wall: Dict[int, float] = dict(clock)
+
+    def _advance(qubits: Tuple[int, ...], duration: float) -> None:
+        start = max((wall[q] for q in qubits), default=0.0)
+        for q in qubits:
+            if noise is not None and noise.relaxation_enabled:
+                # relax over the idle gap plus this instruction's own window
+                elapsed = (start + duration) - wall[q]
+                _relax(state, q, elapsed, noise.t1_dt(q), noise.t2_dt(q), rng)
+            wall[q] = start + duration
+
+    for instruction in circuit.data:
+        if instruction.is_directive():
+            continue
+        duration = float(instruction.duration_dt())
+        if instruction.condition is not None:
+            clbit, value = instruction.condition
+            if clbits[clbit] != value:
+                continue
+        if instruction.name == "measure":
+            qubit = instruction.qubits[0]
+            _advance(instruction.qubits, duration)
+            outcome = state.measure(qubit, rng)
+            if noise is not None:
+                flip = noise.readout_error(qubit)
+                if flip > 0 and rng.random() < flip:
+                    outcome = 1 - outcome
+            clbits[instruction.clbits[0]] = outcome
+            continue
+        if instruction.name == "reset":
+            _advance(instruction.qubits, duration)
+            state.reset(instruction.qubits[0], rng)
+            continue
+        if instruction.name == "delay":
+            _advance(instruction.qubits, float(instruction.params[0]))
+            continue
+        matrix = gates.gate_matrix(instruction.name, instruction.params)
+        _advance(instruction.qubits, duration)
+        state.apply_matrix(matrix, instruction.qubits)
+        if noise is not None:
+            _apply_pauli_error(
+                state,
+                instruction.qubits,
+                noise.gate_error(instruction.name, instruction.qubits),
+                rng,
+            )
+    if noise is not None and noise.relaxation_enabled:
+        # relax remaining qubits up to the global end of circuit
+        horizon = max(wall.values(), default=0.0)
+        for q in range(circuit.num_qubits):
+            _relax(state, q, horizon - wall[q], noise.t1_dt(q), noise.t2_dt(q), rng)
+    return clbits
+
+
+def _fast_path_allowed(circuit: QuantumCircuit, noise: Optional[NoiseModel]) -> bool:
+    if noise is not None:
+        return False
+    if circuit.has_dynamic_operations():
+        return False
+    # each clbit must be written at most once
+    written = set()
+    for instruction in circuit.data:
+        for c in instruction.clbits:
+            if c in written:
+                return False
+            written.add(c)
+    return True
+
+
+def _sample_terminal(
+    circuit: QuantumCircuit, shots: int, rng: random.Random
+) -> Counter:
+    """Noiseless fast path: evolve once, sample the terminal distribution."""
+    state = Statevector(circuit.num_qubits)
+    measurements: List[Tuple[int, int]] = []
+    for instruction in circuit.data:
+        if instruction.is_directive() or instruction.name == "delay":
+            continue
+        if instruction.name == "measure":
+            measurements.append((instruction.qubits[0], instruction.clbits[0]))
+            continue
+        state.apply_matrix(
+            gates.gate_matrix(instruction.name, instruction.params),
+            instruction.qubits,
+        )
+    probabilities = state.probabilities()
+    indices = rng.choices(range(len(probabilities)), weights=probabilities, k=shots)
+    counts: Counter = Counter()
+    n = circuit.num_qubits
+    for index in indices:
+        clbits = [0] * circuit.num_clbits
+        for qubit, clbit in measurements:
+            clbits[clbit] = (index >> (n - 1 - qubit)) & 1
+        counts["".join(map(str, clbits))] += 1
+    return counts
+
+
+def run_counts(
+    circuit: QuantumCircuit,
+    shots: int = 1024,
+    seed: Optional[int] = None,
+    noise: Optional[NoiseModel] = None,
+) -> Counter:
+    """Execute *circuit* for *shots* and return classical-bit counts.
+
+    Keys are classical bitstrings with clbit 0 leftmost.  With *noise*
+    given (or any dynamic operation present) each shot is an independent
+    trajectory; otherwise a single evolution is sampled.
+    """
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    if circuit.num_clbits == 0:
+        raise SimulationError("circuit has no classical bits to sample")
+    rng = random.Random(seed)
+    if _fast_path_allowed(circuit, noise):
+        return _sample_terminal(circuit, shots, rng)
+    counts: Counter = Counter()
+    for _ in range(shots):
+        clbits = _run_trajectory(circuit, noise, rng)
+        counts["".join(map(str, clbits))] += 1
+    return counts
+
+
+def final_statevector(circuit: QuantumCircuit, seed: Optional[int] = None) -> np.ndarray:
+    """Noiseless final statevector (measurements collapse, sampled by *seed*)."""
+    rng = random.Random(seed)
+    state = Statevector(circuit.num_qubits)
+    clbits = [0] * max(circuit.num_clbits, 1)
+    for instruction in circuit.data:
+        if instruction.is_directive() or instruction.name == "delay":
+            continue
+        if instruction.condition is not None:
+            clbit, value = instruction.condition
+            if clbits[clbit] != value:
+                continue
+        if instruction.name == "measure":
+            clbits[instruction.clbits[0]] = state.measure(instruction.qubits[0], rng)
+        elif instruction.name == "reset":
+            state.reset(instruction.qubits[0], rng)
+        else:
+            state.apply_matrix(
+                gates.gate_matrix(instruction.name, instruction.params),
+                instruction.qubits,
+            )
+    return state.amplitudes

@@ -1,0 +1,72 @@
+"""Distribution-level equivalence checking between circuits.
+
+Reuse transformations preserve an application's *output distribution over
+the original classical bits* — extra garbage bits (ancilla measurements)
+and wire renames are expected.  These helpers make that check a one-liner
+for tests, examples, and users validating their own transformations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.sim.metrics import total_variation_distance
+from repro.sim.noise import NoiseModel
+from repro.sim.statevector import run_counts
+
+__all__ = ["marginal_counts", "distributions_tvd", "assert_equivalent"]
+
+
+def marginal_counts(counts: Mapping[str, int], width: int) -> Dict[str, int]:
+    """Project counts onto the first *width* classical bits."""
+    if width <= 0:
+        raise SimulationError("width must be positive")
+    out: Dict[str, int] = {}
+    for key, value in counts.items():
+        prefix = key[:width]
+        out[prefix] = out.get(prefix, 0) + value
+    return out
+
+
+def distributions_tvd(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    width: Optional[int] = None,
+    shots: int = 4000,
+    seed: int = 17,
+    noise: Optional[NoiseModel] = None,
+) -> float:
+    """Sampled TVD between two circuits' output distributions.
+
+    Args:
+        width: classical bits to compare (default: the smaller clbit count
+            of the two circuits — reuse may have appended garbage bits).
+    """
+    if width is None:
+        width = min(circuit_a.num_clbits, circuit_b.num_clbits)
+    counts_a = marginal_counts(run_counts(circuit_a, shots, seed, noise), width)
+    counts_b = marginal_counts(run_counts(circuit_b, shots, seed, noise), width)
+    return total_variation_distance(counts_a, counts_b)
+
+
+def assert_equivalent(
+    circuit_a: QuantumCircuit,
+    circuit_b: QuantumCircuit,
+    width: Optional[int] = None,
+    shots: int = 4000,
+    seed: int = 17,
+    tolerance: float = 0.05,
+) -> None:
+    """Raise :class:`SimulationError` when the circuits' distributions differ.
+
+    The tolerance should comfortably exceed the sampling noise floor
+    (~``sqrt(k / shots)`` for k populated outcomes).
+    """
+    tvd = distributions_tvd(circuit_a, circuit_b, width=width, shots=shots, seed=seed)
+    if tvd > tolerance:
+        raise SimulationError(
+            f"circuits are not equivalent: sampled TVD {tvd:.4f} "
+            f"exceeds tolerance {tolerance}"
+        )

@@ -1,0 +1,120 @@
+"""Commutation-aware gate reordering and cancellation.
+
+The peephole passes in :mod:`repro.transpiler.optimization` only cancel
+gates that are textually adjacent; gates often commute past intervening
+operations (an ``rz`` slides through a CX control, diagonal gates commute
+with each other).  This pass normalises gate order using a small, sound
+commutation relation and re-runs the adjacency-based cancellation, which
+catches patterns like::
+
+    cx(0,1) ; rz(0) ; cx(0,1)      ->  rz(0)
+    cz(0,1) ; x(2) ; cz(0,1)       ->  x(2)
+
+The commutation relation (conservative — unknown cases assumed
+non-commuting):
+
+* gates on disjoint wires always commute;
+* diagonal gates (z, s, t, rz, p, cz, cp, crz, rzz) commute with each
+  other on any overlap;
+* a diagonal 1Q gate commutes with the *control* of cx/cz/cp/crz;
+* x / rx commute with the *target* of a cx.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.transpiler.optimization import (
+    cancel_adjacent_self_inverse,
+    drop_identity_rotations,
+)
+
+__all__ = ["instructions_commute", "commutation_aware_cancel"]
+
+_DIAGONAL = {"z", "s", "sdg", "t", "tdg", "rz", "p", "cz", "cp", "crz", "rzz"}
+_X_LIKE = {"x", "rx", "sx", "sxdg"}
+# control-first two-qubit gates whose control axis is Z (diagonal there)
+_Z_CONTROLLED = {"cx", "cz", "cp", "crz"}
+
+
+def instructions_commute(a: Instruction, b: Instruction) -> bool:
+    """Sound (conservative) test: do *a* and *b* commute as operators?
+
+    Classical bits are treated as wires too: operations touching the same
+    classical bit never commute (measurement order is observable).
+    """
+    if a.is_directive() or b.is_directive():
+        return False
+    a_clbits = set(a.clbits) | ({a.condition[0]} if a.condition else set())
+    b_clbits = set(b.clbits) | ({b.condition[0]} if b.condition else set())
+    if a_clbits & b_clbits:
+        return False
+    shared = set(a.qubits) & set(b.qubits)
+    if not shared:
+        return True
+    if a.name in ("measure", "reset") or b.name in ("measure", "reset"):
+        return False
+    if a.condition is not None or b.condition is not None:
+        return False
+    if a.name in _DIAGONAL and b.name in _DIAGONAL:
+        return True
+    # diagonal single-qubit gate against a Z-controlled gate's control
+    for first, second in ((a, b), (b, a)):
+        if (
+            first.name in _DIAGONAL
+            and len(first.qubits) == 1
+            and second.name in _Z_CONTROLLED
+            and shared == {second.qubits[0]}
+        ):
+            return True
+        # X-like single-qubit gate against a CX target
+        if (
+            first.name in _X_LIKE
+            and len(first.qubits) == 1
+            and second.name == "cx"
+            and shared == {second.qubits[1]}
+        ):
+            return True
+        # rzz is diagonal on both wires: any diagonal 1Q gate passes
+        if (
+            first.name in _DIAGONAL
+            and len(first.qubits) == 1
+            and second.name == "rzz"
+        ):
+            return True
+    return False
+
+
+def _normalise_order(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Stable bubble pass: float each instruction as early as commutation
+    allows.  O(n^2) worst case, fine at transpiler sizes."""
+    ordered: List[Instruction] = []
+    for instruction in circuit.data:
+        position = len(ordered)
+        while position > 0 and instructions_commute(ordered[position - 1], instruction):
+            # keep sorting stable: only hop over a gate when doing so moves
+            # this instruction next to a same-name partner or frees wires
+            position -= 1
+        ordered.insert(position, instruction)
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    out.extend(instr.copy() for instr in ordered)
+    return out
+
+
+def commutation_aware_cancel(circuit: QuantumCircuit, rounds: int = 2) -> QuantumCircuit:
+    """Reorder through commuting neighbours, then cancel; iterate.
+
+    Semantics-preserving by construction: instructions only move past
+    neighbours they commute with.
+    """
+    current = circuit
+    for _ in range(max(1, rounds)):
+        before = len(current)
+        current = _normalise_order(current)
+        current = cancel_adjacent_self_inverse(current)
+        current = drop_identity_rotations(current)
+        if len(current) == before:
+            break
+    return current

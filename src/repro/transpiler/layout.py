@@ -1,0 +1,153 @@
+"""Logical-to-physical qubit layouts.
+
+A :class:`Layout` is a partial bijection between logical circuit qubits and
+physical device qubits.  SR-CaQR relies on *partial* layouts: logical qubits
+are mapped lazily, and physical qubits return to the free pool once their
+logical qubit has finished (the paper's ``physicalList``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import TranspilerError
+from repro.hardware.coupling import CouplingMap
+
+__all__ = ["Layout", "trivial_layout", "greedy_degree_layout"]
+
+
+class Layout:
+    """Partial bijection logical -> physical."""
+
+    def __init__(self, num_logical: int, num_physical: int):
+        # num_logical may exceed num_physical: with qubit reuse (SR-CaQR)
+        # only the *concurrently mapped* logical qubits are bounded by the
+        # device size, which the assign/free-pool mechanics enforce.
+        self.num_logical = num_logical
+        self.num_physical = num_physical
+        self._l2p: List[Optional[int]] = [None] * num_logical
+        self._p2l: List[Optional[int]] = [None] * num_physical
+
+    @classmethod
+    def from_mapping(cls, mapping: Dict[int, int], num_logical: int, num_physical: int) -> "Layout":
+        """Build from an explicit logical->physical dict."""
+        layout = cls(num_logical, num_physical)
+        for logical, physical in mapping.items():
+            layout.assign(logical, physical)
+        return layout
+
+    def assign(self, logical: int, physical: int) -> None:
+        """Map *logical* onto *physical*; both must be unassigned."""
+        if not 0 <= logical < self.num_logical:
+            raise TranspilerError(f"logical qubit {logical} out of range")
+        if not 0 <= physical < self.num_physical:
+            raise TranspilerError(f"physical qubit {physical} out of range")
+        if self._l2p[logical] is not None:
+            raise TranspilerError(f"logical qubit {logical} already mapped")
+        if self._p2l[physical] is not None:
+            raise TranspilerError(f"physical qubit {physical} already occupied")
+        self._l2p[logical] = physical
+        self._p2l[physical] = logical
+
+    def release(self, logical: int) -> int:
+        """Unmap *logical* and return the physical qubit it occupied."""
+        physical = self._l2p[logical]
+        if physical is None:
+            raise TranspilerError(f"logical qubit {logical} is not mapped")
+        self._l2p[logical] = None
+        self._p2l[physical] = None
+        return physical
+
+    def physical(self, logical: int) -> int:
+        """The physical qubit *logical* occupies."""
+        physical = self._l2p[logical]
+        if physical is None:
+            raise TranspilerError(f"logical qubit {logical} is not mapped")
+        return physical
+
+    def logical(self, physical: int) -> Optional[int]:
+        """The logical qubit on *physical*, or ``None`` when free."""
+        return self._p2l[physical]
+
+    def is_mapped(self, logical: int) -> bool:
+        return self._l2p[logical] is not None
+
+    def free_physical(self) -> List[int]:
+        """Unoccupied physical qubits, ascending."""
+        return [p for p, logical in enumerate(self._p2l) if logical is None]
+
+    def swap_physical(self, a: int, b: int) -> None:
+        """Exchange whatever logical qubits sit on physical *a* and *b*."""
+        la, lb = self._p2l[a], self._p2l[b]
+        self._p2l[a], self._p2l[b] = lb, la
+        if la is not None:
+            self._l2p[la] = b
+        if lb is not None:
+            self._l2p[lb] = a
+
+    def copy(self) -> "Layout":
+        out = Layout(self.num_logical, self.num_physical)
+        out._l2p = list(self._l2p)
+        out._p2l = list(self._p2l)
+        return out
+
+    def as_dict(self) -> Dict[int, int]:
+        """Logical -> physical mapping for the currently mapped qubits."""
+        return {
+            logical: physical
+            for logical, physical in enumerate(self._l2p)
+            if physical is not None
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - display
+        return f"<Layout {self.as_dict()}>"
+
+
+def trivial_layout(num_logical: int, num_physical: int) -> Layout:
+    """Identity mapping: logical *i* on physical *i*."""
+    if num_logical > num_physical:
+        raise TranspilerError(
+            f"cannot lay out {num_logical} logical qubits on "
+            f"{num_physical} physical qubits"
+        )
+    layout = Layout(num_logical, num_physical)
+    for q in range(num_logical):
+        layout.assign(q, q)
+    return layout
+
+
+def greedy_degree_layout(
+    interaction_degrees: Dict[int, int],
+    coupling: CouplingMap,
+    num_logical: int,
+) -> Layout:
+    """Place high-degree logical qubits on high-degree physical qubits.
+
+    Logical qubits are visited by descending interaction degree; each takes
+    the free physical qubit that maximises (adjacent already-placed
+    neighbours, degree).  A cheap but effective seed layout.
+    """
+    layout = Layout(num_logical, coupling.num_qubits)
+    order = sorted(
+        range(num_logical),
+        key=lambda q: interaction_degrees.get(q, 0),
+        reverse=True,
+    )
+    for logical in order:
+        free = layout.free_physical()
+        if not free:
+            raise TranspilerError("ran out of physical qubits")
+        placed = [layout.physical(l) for l in range(num_logical) if layout.is_mapped(l)]
+
+        def _score(physical: int) -> tuple:
+            adjacency = sum(
+                1 for other in placed if coupling.are_adjacent(physical, other)
+            )
+            near = -min(
+                (coupling.distance(physical, other) for other in placed),
+                default=0,
+            )
+            return (adjacency, near, coupling.degree(physical))
+
+        layout.assign(logical, max(free, key=_score))
+    return layout

@@ -1,0 +1,287 @@
+"""A minimal pass-manager framework for composing transpiler pipelines.
+
+``transpile()`` hard-codes the paper's baseline pipeline; the pass manager
+exposes the same building blocks as composable passes so downstream users
+can build custom flows (e.g. insert CaQR's reuse transformation between
+layout and routing, or add the basis translation at the end)::
+
+    pm = PassManager([
+        DecomposeToTwoQubit(),
+        SabreLayoutPass(seed=7),
+        SabreRoutePass(seed=7),
+        PeepholeOptimise(),
+        TranslateToBasis(),
+    ])
+    compiled = pm.run(circuit, backend)
+
+Each pass receives the circuit and a shared :class:`PropertySet` (layout,
+metrics, free-form annotations) and returns the transformed circuit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.hardware.backends import Backend
+
+__all__ = [
+    "PropertySet",
+    "BasePass",
+    "PassManager",
+    "DecomposeToTwoQubit",
+    "SabreLayoutPass",
+    "SabreRoutePass",
+    "PeepholeOptimise",
+    "CommutationCancelPass",
+    "TranslateToBasis",
+    "InsertDelaysPass",
+    "QubitReusePass",
+    "baseline_pass_manager",
+]
+
+
+class PropertySet(dict):
+    """Shared state flowing between passes (a dict with attribute sugar)."""
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self[name] = value
+
+
+class BasePass:
+    """One transformation step.  Subclasses implement :meth:`run`."""
+
+    #: set False for passes that only analyse (circuit returned unchanged)
+    is_transformation = True
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        backend: Optional[Backend],
+        properties: PropertySet,
+    ) -> QuantumCircuit:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class PassRecord:
+    """Execution record of one pass (for the pipeline report)."""
+
+    name: str
+    seconds: float
+    size_before: int
+    size_after: int
+
+
+class PassManager:
+    """Run a sequence of passes, collecting per-pass timing records."""
+
+    def __init__(self, passes: Sequence[BasePass] = ()):
+        self.passes: List[BasePass] = list(passes)
+        self.records: List[PassRecord] = []
+
+    def append(self, pass_: BasePass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        backend: Optional[Backend] = None,
+        properties: Optional[PropertySet] = None,
+    ) -> QuantumCircuit:
+        """Apply every pass in order; returns the final circuit.
+
+        The property set (available afterwards as ``self.properties``)
+        accumulates whatever the passes publish (layout, reuse pairs, ...).
+        """
+        props = properties if properties is not None else PropertySet()
+        self.properties = props
+        self.records = []
+        current = circuit
+        for pass_ in self.passes:
+            before = current.size()
+            start = time.perf_counter()
+            result = pass_.run(current, backend, props)
+            elapsed = time.perf_counter() - start
+            if result is None:
+                raise TranspilerError(f"pass {pass_.name} returned None")
+            current = result
+            self.records.append(
+                PassRecord(pass_.name, elapsed, before, current.size())
+            )
+        return current
+
+    def report(self) -> str:
+        """Human-readable per-pass execution summary."""
+        lines = ["pass                        time(ms)   size"]
+        for record in self.records:
+            lines.append(
+                f"{record.name:<26}  {record.seconds * 1000:>8.2f}   "
+                f"{record.size_before} -> {record.size_after}"
+            )
+        return "\n".join(lines)
+
+
+# -- concrete passes ------------------------------------------------------------
+
+
+class DecomposeToTwoQubit(BasePass):
+    """Expand >2-qubit gates (Toffoli) into the 2Q+1Q set."""
+
+    def run(self, circuit, backend, properties):
+        from repro.transpiler.basis import decompose_to_two_qubit
+
+        return decompose_to_two_qubit(circuit)
+
+
+class SabreLayoutPass(BasePass):
+    """Find an initial layout with SABRE's bidirectional search.
+
+    Publishes ``properties.layout``.
+    """
+
+    def __init__(self, seed: int = 11, iterations: int = 3, trials: int = 4):
+        self.seed = seed
+        self.iterations = iterations
+        self.trials = trials
+
+    is_transformation = False
+
+    def run(self, circuit, backend, properties):
+        if backend is None:
+            raise TranspilerError("SabreLayoutPass needs a backend")
+        from repro.transpiler.sabre import sabre_layout
+
+        properties["layout"] = sabre_layout(
+            circuit,
+            backend.coupling,
+            seed=self.seed,
+            iterations=self.iterations,
+            trials=self.trials,
+        )
+        return circuit
+
+
+class SabreRoutePass(BasePass):
+    """Insert SWAPs; uses ``properties.layout`` when present.
+
+    Publishes ``properties.final_layout`` and ``properties.swap_count``.
+    """
+
+    def __init__(self, seed: int = 11):
+        self.seed = seed
+
+    def run(self, circuit, backend, properties):
+        if backend is None:
+            raise TranspilerError("SabreRoutePass needs a backend")
+        from repro.transpiler.sabre import sabre_route
+
+        result = sabre_route(
+            circuit,
+            backend.coupling,
+            initial_layout=properties.get("layout"),
+            seed=self.seed,
+        )
+        properties["final_layout"] = result.final_layout
+        properties["swap_count"] = result.swap_count
+        return result.circuit
+
+
+class PeepholeOptimise(BasePass):
+    """Identity dropping, self-inverse cancellation, 1Q-run merging."""
+
+    def __init__(self, merge_1q: bool = True):
+        self.merge_1q = merge_1q
+
+    def run(self, circuit, backend, properties):
+        from repro.transpiler.optimization import optimize_circuit
+
+        return optimize_circuit(circuit, merge_1q=self.merge_1q)
+
+
+class CommutationCancelPass(BasePass):
+    """Commutation-aware reordering + self-inverse cancellation."""
+
+    def __init__(self, rounds: int = 2):
+        self.rounds = rounds
+
+    def run(self, circuit, backend, properties):
+        from repro.transpiler.commutation import commutation_aware_cancel
+
+        return commutation_aware_cancel(circuit, rounds=self.rounds)
+
+
+class TranslateToBasis(BasePass):
+    """Rewrite into the native {rz, sx, x, cx} basis."""
+
+    def run(self, circuit, backend, properties):
+        from repro.transpiler.translation import translate_to_basis
+
+        return translate_to_basis(circuit)
+
+
+class InsertDelaysPass(BasePass):
+    """Materialise idle time as explicit delay instructions."""
+
+    def __init__(self, policy: str = "asap"):
+        self.policy = policy
+
+    def run(self, circuit, backend, properties):
+        from repro.transpiler.timing import insert_delays
+
+        calibration = backend.calibration if backend is not None else None
+        return insert_delays(circuit, calibration, policy=self.policy)
+
+
+class QubitReusePass(BasePass):
+    """QS-CaQR as a pipeline pass: reduce qubit usage before layout.
+
+    Publishes ``properties.reuse_pairs``.
+    """
+
+    def __init__(self, qubit_limit: Optional[int] = None, objective: str = "depth"):
+        self.qubit_limit = qubit_limit
+        self.objective = objective
+
+    def run(self, circuit, backend, properties):
+        from repro.core.qs_caqr import QSCaQR
+
+        compiler = QSCaQR(objective=self.objective)
+        if self.qubit_limit is None:
+            result = compiler.sweep(circuit)[-1]
+        else:
+            result = compiler.reduce_to(circuit, self.qubit_limit)
+            if not result.feasible:
+                raise TranspilerError(
+                    f"cannot reach {self.qubit_limit} qubits "
+                    f"(floor {result.qubits})"
+                )
+        properties["reuse_pairs"] = result.pairs
+        return result.circuit
+
+
+def baseline_pass_manager(seed: int = 11, native_basis: bool = False) -> PassManager:
+    """The paper's Qiskit-L3-equivalent pipeline as a PassManager."""
+    passes: List[BasePass] = [
+        DecomposeToTwoQubit(),
+        SabreLayoutPass(seed=seed),
+        SabreRoutePass(seed=seed),
+        PeepholeOptimise(),
+    ]
+    if native_basis:
+        passes.append(TranslateToBasis())
+    return PassManager(passes)

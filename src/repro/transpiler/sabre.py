@@ -1,0 +1,262 @@
+"""SABRE swap routing and layout search (Li, Ding, Xie — ASPLOS 2019).
+
+SABRE is the state-of-the-art mapper the paper uses after QS-CaQR's logical
+transformation, and it is what Qiskit's optimisation level 3 runs — so it
+doubles as our baseline router.
+
+The implementation follows the published algorithm: a front layer of
+unresolved two-qubit gates, a heuristic swap score combining the front
+layer's distance sum with a look-ahead window of upcoming gates, and decay
+factors that discourage thrashing a single qubit.  A stall-escape fallback
+routes the oldest front gate along a shortest path if the heuristic loops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.dag.dagcircuit import DAGCircuit
+from repro.exceptions import TranspilerError
+from repro.hardware.coupling import CouplingMap
+from repro.transpiler.layout import Layout, trivial_layout
+
+__all__ = ["sabre_route", "sabre_layout", "RoutingResult"]
+
+_EXTENDED_SET_SIZE = 20
+_EXTENDED_SET_WEIGHT = 0.5
+_DECAY_INCREMENT = 0.001
+_DECAY_RESET_INTERVAL = 5
+_STALL_LIMIT = 100
+
+
+class RoutingResult:
+    """Output of :func:`sabre_route`.
+
+    Attributes:
+        circuit: physical circuit (qubit indices are *physical*), with
+            inserted SWAP gates.
+        initial_layout: layout at circuit start.
+        final_layout: layout after all gates (useful for reverse passes).
+        swap_count: number of inserted SWAPs.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Layout,
+        final_layout: Layout,
+        swap_count: int,
+    ):
+        self.circuit = circuit
+        self.initial_layout = initial_layout
+        self.final_layout = final_layout
+        self.swap_count = swap_count
+
+
+def _requires_routing(instruction: Instruction) -> bool:
+    return instruction.is_two_qubit() or (
+        len(instruction.qubits) == 2 and instruction.name == "swap"
+    )
+
+
+def sabre_route(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Layout] = None,
+    seed: int = 11,
+) -> RoutingResult:
+    """Insert SWAPs so every two-qubit gate touches coupled physical qubits.
+
+    Args:
+        circuit: logical circuit; gates of arity > 2 must be decomposed first.
+        coupling: target connectivity.
+        initial_layout: starting placement (trivial when omitted).
+        seed: tie-breaking RNG seed.
+
+    Returns:
+        A :class:`RoutingResult` whose circuit indexes *physical* qubits.
+    """
+    for instruction in circuit.data:
+        if len(instruction.qubits) > 2 and not instruction.is_directive():
+            raise TranspilerError(
+                f"sabre_route needs <=2-qubit gates, got {instruction.name}"
+            )
+    if circuit.num_qubits > coupling.num_qubits:
+        raise TranspilerError(
+            f"{circuit.num_qubits} logical qubits exceed device size "
+            f"{coupling.num_qubits}"
+        )
+    rng = random.Random(seed)
+    layout = (initial_layout or trivial_layout(circuit.num_qubits, coupling.num_qubits)).copy()
+    initial = layout.copy()
+    dag = DAGCircuit.from_circuit(circuit)
+    distance = coupling.distance_matrix()
+
+    in_degree = {node_id: dag.in_degree(node_id) for node_id in dag.nodes}
+    front: List[int] = [node_id for node_id, degree in in_degree.items() if degree == 0]
+    out = QuantumCircuit(coupling.num_qubits, circuit.num_clbits, circuit.name)
+    decay = [1.0] * coupling.num_qubits
+    swap_count = 0
+    stall = 0
+    iterations = 0
+
+    def _physical_pair(node_id: int) -> Tuple[int, int]:
+        a, b = dag.nodes[node_id].instruction.qubits
+        return layout.physical(a), layout.physical(b)
+
+    def _emit(node_id: int) -> None:
+        instruction = dag.nodes[node_id].instruction
+        out.append(instruction.remapped(lambda q: layout.physical(q)))
+
+    def _resolve(node_id: int) -> None:
+        for successor in dag.successors(node_id):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                front.append(successor)
+
+    def _extended_set(blocked: List[int]) -> List[int]:
+        """Look-ahead window: nearest descendants of the blocked gates."""
+        result: List[int] = []
+        queue = list(blocked)
+        seen: Set[int] = set(queue)
+        while queue and len(result) < _EXTENDED_SET_SIZE:
+            node_id = queue.pop(0)
+            for successor in sorted(dag.successors(node_id)):
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                instruction = dag.nodes[successor].instruction
+                if instruction is not None and _requires_routing(instruction):
+                    result.append(successor)
+                queue.append(successor)
+        return result
+
+    while front or any(degree > 0 for degree in in_degree.values()):
+        iterations += 1
+        # 1. execute everything executable
+        progress = True
+        while progress:
+            progress = False
+            for node_id in list(front):
+                instruction = dag.nodes[node_id].instruction
+                if instruction is None or not _requires_routing(instruction):
+                    front.remove(node_id)
+                    if instruction is not None:
+                        _emit(node_id)
+                    _resolve(node_id)
+                    progress = True
+                    continue
+                pa, pb = _physical_pair(node_id)
+                if coupling.are_adjacent(pa, pb):
+                    front.remove(node_id)
+                    _emit(node_id)
+                    _resolve(node_id)
+                    progress = True
+        if not front:
+            if any(degree > 0 for degree in in_degree.values()):
+                raise TranspilerError("routing stalled with pending gates")
+            break
+
+        blocked = [
+            node_id
+            for node_id in front
+            if dag.nodes[node_id].instruction is not None
+            and _requires_routing(dag.nodes[node_id].instruction)
+        ]
+        if not blocked:
+            continue
+
+        stall += 1
+        if stall > _STALL_LIMIT:
+            # escape: route the oldest blocked gate directly
+            node_id = blocked[0]
+            pa, pb = _physical_pair(node_id)
+            path = coupling.shortest_path(pa, pb)
+            for step in range(len(path) - 2):
+                out.swap(path[step], path[step + 1])
+                layout.swap_physical(path[step], path[step + 1])
+                swap_count += 1
+            stall = 0
+            continue
+
+        # 2. score candidate swaps
+        extended = _extended_set(blocked)
+        candidates: Set[Tuple[int, int]] = set()
+        for node_id in blocked:
+            for physical in _physical_pair(node_id):
+                for neighbor in coupling.neighbors(physical):
+                    candidates.add(tuple(sorted((physical, neighbor))))
+
+        def _score(swap: Tuple[int, int]) -> float:
+            a, b = swap
+
+            def _dist(node_id: int) -> int:
+                pa, pb = _physical_pair(node_id)
+                # apply the hypothetical swap
+                pa = b if pa == a else a if pa == b else pa
+                pb = b if pb == a else a if pb == b else pb
+                return distance[pa][pb]
+
+            front_cost = sum(_dist(node_id) for node_id in blocked) / len(blocked)
+            ahead = 0.0
+            if extended:
+                ahead = (
+                    _EXTENDED_SET_WEIGHT
+                    * sum(_dist(node_id) for node_id in extended)
+                    / len(extended)
+                )
+            return max(decay[a], decay[b]) * (front_cost + ahead)
+
+        best = min(candidates, key=lambda swap: (_score(swap), rng.random()))
+        out.swap(*best)
+        layout.swap_physical(*best)
+        swap_count += 1
+        decay[best[0]] += _DECAY_INCREMENT
+        decay[best[1]] += _DECAY_INCREMENT
+        if iterations % _DECAY_RESET_INTERVAL == 0:
+            decay = [1.0] * coupling.num_qubits
+
+    return RoutingResult(out, initial, layout, swap_count)
+
+
+def sabre_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    seed: int = 11,
+    iterations: int = 3,
+    trials: int = 4,
+) -> Layout:
+    """SABRE's bidirectional layout search.
+
+    Runs forward/backward routing passes so the final layout of one pass
+    seeds the next, over several random starting placements; returns the
+    layout whose forward pass inserted the fewest SWAPs.
+    """
+    rng = random.Random(seed)
+    reverse = QuantumCircuit(circuit.num_qubits, circuit.num_clbits)
+    for instruction in reversed(circuit.data):
+        reverse.append(instruction.copy())
+
+    best_layout: Optional[Layout] = None
+    best_swaps = None
+    for trial in range(trials):
+        physical_order = list(range(coupling.num_qubits))
+        rng.shuffle(physical_order)
+        layout = Layout(circuit.num_qubits, coupling.num_qubits)
+        for logical in range(circuit.num_qubits):
+            layout.assign(logical, physical_order[logical])
+        for _ in range(iterations):
+            forward = sabre_route(circuit, coupling, layout, seed=rng.randrange(1 << 30))
+            backward = sabre_route(
+                reverse, coupling, forward.final_layout, seed=rng.randrange(1 << 30)
+            )
+            layout = backward.final_layout
+        final = sabre_route(circuit, coupling, layout, seed=rng.randrange(1 << 30))
+        if best_swaps is None or final.swap_count < best_swaps:
+            best_swaps = final.swap_count
+            best_layout = layout
+    assert best_layout is not None
+    return best_layout

@@ -1,0 +1,113 @@
+"""ASAP scheduling: assign start times and compute circuit duration in dt.
+
+Duration is the metric the paper reports alongside depth (Table 1):
+with real calibration data each physical link has its own CX time, and the
+measure/reset operations inserted for qubit reuse are far slower than
+gates — which is exactly why the measure + conditional-X optimisation and
+the critical-path-aware pair selection matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit import gates
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
+from repro.hardware.calibration import Calibration
+
+__all__ = ["ScheduledInstruction", "Schedule", "schedule_asap", "circuit_duration_dt"]
+
+
+@dataclass(frozen=True)
+class ScheduledInstruction:
+    """One instruction with its assigned start time and duration (dt)."""
+
+    instruction: Instruction
+    start: int
+    duration: int
+
+    @property
+    def finish(self) -> int:
+        return self.start + self.duration
+
+
+@dataclass
+class Schedule:
+    """A full ASAP schedule.
+
+    Attributes:
+        entries: scheduled instructions in input order.
+        makespan: total circuit duration in dt.
+    """
+
+    entries: List[ScheduledInstruction]
+    makespan: int
+
+    def qubit_busy_time(self, qubit: int) -> int:
+        """Total time *qubit* spends inside instructions (not idling)."""
+        return sum(
+            entry.duration
+            for entry in self.entries
+            if qubit in entry.instruction.qubits
+        )
+
+    def qubit_idle_time(self, qubit: int) -> int:
+        """Time *qubit* idles between its first and last instruction."""
+        touching = [e for e in self.entries if qubit in e.instruction.qubits]
+        if not touching:
+            return 0
+        span = max(e.finish for e in touching) - min(e.start for e in touching)
+        return span - sum(e.duration for e in touching)
+
+
+def _instruction_duration(
+    instruction: Instruction, calibration: Optional[Calibration]
+) -> int:
+    if instruction.is_directive():
+        return 0
+    if instruction.name == "delay":
+        return int(instruction.params[0])
+    if calibration is not None:
+        base = calibration.instruction_duration(instruction.name, instruction.qubits)
+    else:
+        base = gates.default_duration(instruction.name)
+    if instruction.condition is not None:
+        base += gates.CONDITIONAL_LATENCY_DT
+    return base
+
+
+def schedule_asap(
+    circuit: QuantumCircuit, calibration: Optional[Calibration] = None
+) -> Schedule:
+    """As-soon-as-possible schedule respecting wire dependencies.
+
+    Classical bits are wires too: a conditioned gate cannot start before the
+    measurement writing its condition bit has finished (feed-forward).
+    """
+    available: Dict[Tuple[str, int], int] = {}
+    entries: List[ScheduledInstruction] = []
+    makespan = 0
+    for instruction in circuit.data:
+        wires: List[Tuple[str, int]] = [("q", q) for q in instruction.qubits]
+        wires.extend(("c", c) for c in instruction.clbits)
+        if instruction.condition is not None:
+            wire = ("c", instruction.condition[0])
+            if wire not in wires:
+                wires.append(wire)
+        start = max((available.get(w, 0) for w in wires), default=0)
+        duration = _instruction_duration(instruction, calibration)
+        finish = start + duration
+        for w in wires:
+            available[w] = finish
+        entries.append(ScheduledInstruction(instruction, start, duration))
+        makespan = max(makespan, finish)
+    return Schedule(entries, makespan)
+
+
+def circuit_duration_dt(
+    circuit: QuantumCircuit, calibration: Optional[Calibration] = None
+) -> int:
+    """Shorthand for ``schedule_asap(circuit, calibration).makespan``."""
+    return schedule_asap(circuit, calibration).makespan

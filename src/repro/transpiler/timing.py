@@ -1,0 +1,103 @@
+"""ALAP scheduling and explicit idle-delay insertion.
+
+ASAP (``schedule_asap``) answers "how long does the circuit take"; this
+module adds the complementary passes:
+
+* :func:`schedule_alap` — latest-start schedule at the same makespan,
+  which pushes gates toward their consumers (useful to shorten the idle
+  window before a measurement, a standard decoherence trick);
+* :func:`insert_delays` — materialise a schedule's idle gaps as explicit
+  ``delay`` instructions, producing a *timed circuit* whose wire-time
+  structure the simulator and duration analyses see directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.hardware.calibration import Calibration
+from repro.transpiler.scheduling import (
+    Schedule,
+    ScheduledInstruction,
+    _instruction_duration,
+    schedule_asap,
+)
+
+__all__ = ["schedule_alap", "insert_delays"]
+
+
+def schedule_alap(
+    circuit: QuantumCircuit, calibration: Optional[Calibration] = None
+) -> Schedule:
+    """As-late-as-possible schedule with the ASAP makespan.
+
+    Every instruction starts as late as its successors allow; the overall
+    duration matches :func:`schedule_asap` exactly.
+    """
+    asap = schedule_asap(circuit, calibration)
+    horizon = asap.makespan
+    # walk backwards: each wire tracks the earliest start among already
+    # placed (later) instructions
+    wire_deadline: Dict[Tuple[str, int], int] = {}
+    finishes: List[int] = [0] * len(circuit.data)
+    durations = [entry.duration for entry in asap.entries]
+    for index in range(len(circuit.data) - 1, -1, -1):
+        instruction = circuit.data[index]
+        wires: List[Tuple[str, int]] = [("q", q) for q in instruction.qubits]
+        wires.extend(("c", c) for c in instruction.clbits)
+        if instruction.condition is not None:
+            wire = ("c", instruction.condition[0])
+            if wire not in wires:
+                wires.append(wire)
+        finish = min((wire_deadline.get(w, horizon) for w in wires), default=horizon)
+        finishes[index] = finish
+        start = finish - durations[index]
+        for w in wires:
+            wire_deadline[w] = start
+    entries = [
+        ScheduledInstruction(instruction, finishes[i] - durations[i], durations[i])
+        for i, instruction in enumerate(circuit.data)
+    ]
+    if any(entry.start < 0 for entry in entries):
+        raise TranspilerError("ALAP schedule underflow (internal error)")
+    return Schedule(entries, horizon)
+
+
+def insert_delays(
+    circuit: QuantumCircuit,
+    calibration: Optional[Calibration] = None,
+    policy: str = "asap",
+) -> QuantumCircuit:
+    """Return a timed copy of *circuit* with idle gaps as ``delay`` ops.
+
+    Args:
+        policy: ``"asap"`` or ``"alap"`` — which schedule defines the gaps.
+
+    Every qubit's instruction sequence is preserved; between consecutive
+    operations on a wire (and before the first one) a ``delay`` of the
+    exact idle duration is inserted, so a wire-collision duration analysis
+    of the result equals the schedule's makespan.
+    """
+    if policy == "asap":
+        schedule = schedule_asap(circuit, calibration)
+    elif policy == "alap":
+        schedule = schedule_alap(circuit, calibration)
+    else:
+        raise TranspilerError(f"unknown timing policy {policy!r}")
+
+    # entries are in circuit order; emit with per-wire clocks
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    clock: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    order = sorted(range(len(schedule.entries)), key=lambda i: (schedule.entries[i].start, i))
+    for index in order:
+        entry = schedule.entries[index]
+        instruction = entry.instruction
+        for q in instruction.qubits:
+            gap = entry.start - clock[q]
+            if gap > 0:
+                out.delay(gap, q)
+            clock[q] = entry.finish
+        out.append(instruction.copy())
+    return out

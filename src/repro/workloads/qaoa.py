@@ -1,0 +1,72 @@
+"""QAOA max-cut circuits — the paper's commutable-gate application.
+
+A depth-*p* QAOA circuit interleaves a *cost layer* (one ``RZZ``/CPHASE
+per problem-graph edge — these all commute) with a *mixer layer* of
+``RX`` rotations.  The commuting cost layer is what gives QS-CaQR its
+extra freedom: gates can be reordered at will subject only to
+Condition 1, so the minimum qubit count is the chromatic number of the
+problem graph (Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+
+__all__ = ["qaoa_maxcut_circuit", "qaoa_cost_edges", "QAOA_DEFAULT_GAMMA", "QAOA_DEFAULT_BETA"]
+
+QAOA_DEFAULT_GAMMA = 0.8
+QAOA_DEFAULT_BETA = 0.4
+
+
+def qaoa_cost_edges(graph: nx.Graph) -> List[Tuple[int, int]]:
+    """Problem-graph edges as sorted tuples (the commuting 2Q gate set)."""
+    return [tuple(sorted(edge)) for edge in graph.edges]
+
+
+def qaoa_maxcut_circuit(
+    graph: nx.Graph,
+    gammas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Build a depth-``p`` QAOA max-cut circuit for *graph*.
+
+    Args:
+        graph: problem graph on vertices ``0..n-1``.
+        gammas: cost-layer angles, one per round (default: one round,
+            :data:`QAOA_DEFAULT_GAMMA`).
+        betas: mixer-layer angles, same length as *gammas*.
+        measure: append a full terminal measurement.
+
+    Vertices must be integers ``0..n-1`` (the generators in
+    :mod:`repro.workloads.graphs` guarantee this).
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        raise WorkloadError("QAOA needs at least 2 vertices")
+    if set(graph.nodes) != set(range(n)):
+        raise WorkloadError("graph vertices must be 0..n-1")
+    if gammas is None:
+        gammas = [QAOA_DEFAULT_GAMMA]
+    if betas is None:
+        betas = [QAOA_DEFAULT_BETA] * len(gammas)
+    if len(gammas) != len(betas):
+        raise WorkloadError("gammas and betas must have the same length")
+
+    circuit = QuantumCircuit(n, n if measure else 0, name=f"qaoa_{n}")
+    for q in range(n):
+        circuit.h(q)
+    for gamma, beta in zip(gammas, betas):
+        for a, b in qaoa_cost_edges(graph):
+            circuit.rzz(2.0 * gamma, a, b)
+        for q in range(n):
+            circuit.rx(2.0 * beta, q)
+    if measure:
+        for q in range(n):
+            circuit.measure(q, q)
+    return circuit

@@ -1,0 +1,112 @@
+"""Small OpenQASM 2.0 programs exercised through the parser.
+
+These serve two purposes: they are realistic end-to-end inputs for the
+QASM front end (macros, broadcasts, conditionals), and they provide extra
+compilation targets for the tests and the tradeoff explorer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.qasm import parse_qasm
+from repro.exceptions import WorkloadError
+
+__all__ = ["QASM_PROGRAMS", "load_qasm_benchmark", "qasm_benchmark_names"]
+
+QASM_PROGRAMS: Dict[str, str] = {
+    # textbook Bell-pair preparation with measurement
+    "bell": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q -> c;
+""",
+    # 3-qubit repetition-code encode + decode with majority vote via ccx
+    "repetition3": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+x q[0];
+cx q[0], q[1];
+cx q[0], q[2];
+barrier q[0], q[1], q[2];
+cx q[0], q[1];
+cx q[0], q[2];
+ccx q[1], q[2], q[0];
+measure q -> c;
+""",
+    # user-defined macro gates: a controlled-H built from primitives
+    "controlled_h": """
+OPENQASM 2.0;
+include "qelib1.inc";
+gate ch a, b {
+  ry(pi/4) b;
+  cx a, b;
+  ry(-pi/4) b;
+}
+qreg q[2];
+creg c[2];
+x q[0];
+ch q[0], q[1];
+measure q -> c;
+""",
+    # dynamic-circuit teleportation of |1> using feed-forward
+    "teleport": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg m0[1];
+creg m1[1];
+creg out[1];
+x q[0];
+h q[1];
+cx q[1], q[2];
+cx q[0], q[1];
+h q[0];
+measure q[0] -> m0[0];
+measure q[1] -> m1[0];
+if (m1 == 1) x q[2];
+if (m0 == 1) z q[2];
+measure q[2] -> out[0];
+""",
+    # a 4-qubit parity cascade (mini XOR benchmark) with broadcasting
+    "parity4": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg data[3];
+qreg target[1];
+creg c[4];
+x data[0];
+x data[2];
+cx data[0], target[0];
+cx data[1], target[0];
+cx data[2], target[0];
+measure data[0] -> c[0];
+measure data[1] -> c[1];
+measure data[2] -> c[2];
+measure target[0] -> c[3];
+""",
+}
+
+
+def load_qasm_benchmark(name: str) -> QuantumCircuit:
+    """Parse one of the bundled QASM programs into a circuit."""
+    try:
+        text = QASM_PROGRAMS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown QASM benchmark {name!r}; choices: {sorted(QASM_PROGRAMS)}"
+        ) from None
+    circuit = parse_qasm(text)
+    circuit.name = name
+    return circuit
+
+
+def qasm_benchmark_names() -> List[str]:
+    return sorted(QASM_PROGRAMS)

@@ -1,0 +1,176 @@
+"""RevLib-style regular benchmark circuits.
+
+The paper evaluates seven "regular" (non-commuting) applications taken
+from RevLib / QASMBench: ``Rd_32``, ``4mod5``, ``Multiply_13``,
+``System_9``, ``CC_10``, ``XOR_5``, and ``BV_10``.  The exact RevLib gate
+lists are not redistributable offline, so this module provides
+hand-authored circuits with
+
+* the published qubit counts, and
+* the characteristic dependency/interaction structure of each family
+  (star-shaped oracles for CC/XOR, CX/CCX arithmetic networks for
+  rd32/4mod5/multiply/system),
+
+which is what determines qubit-reuse opportunity (Conditions 1/2 operate
+on the interaction graph and the dependency DAG, not on gate identities).
+Each circuit is a classical reversible network on a fixed input, so the
+ideal output distribution is a single bitstring — convenient for the TVD
+and success-rate experiments (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "rd32",
+    "four_mod5",
+    "multiply_13",
+    "system_9",
+    "cc_circuit",
+    "xor5",
+]
+
+
+def rd32() -> QuantumCircuit:
+    """rd32: 4-qubit reversible "rd" (weight) function.
+
+    Computes the 2-bit binary weight of 2 input bits into 2 output wires
+    using the classic CCX/CX half-adder cascade.
+    """
+    circuit = QuantumCircuit(4, 4, name="rd32")
+    # prepare a fixed nontrivial input |11> on the data wires
+    circuit.x(0)
+    circuit.x(1)
+    # carry then sum, twice, mixing the output wires
+    circuit.ccx(0, 1, 3)
+    circuit.cx(0, 2)
+    circuit.cx(1, 2)
+    circuit.ccx(1, 2, 3)
+    circuit.cx(1, 2)
+    circuit.cx(3, 2)
+    circuit.measure_all()
+    return circuit
+
+
+def four_mod5() -> QuantumCircuit:
+    """4mod5: 5-qubit "x mod 5 == 4" reversible checker.
+
+    A CX/CCX network over 4 input wires and one result wire, on a fixed
+    input, following the 4mod5-v1 structure (result on the last qubit).
+    """
+    circuit = QuantumCircuit(5, 5, name="4mod5")
+    circuit.x(0)
+    circuit.x(2)
+    circuit.cx(2, 4)
+    circuit.cx(0, 4)
+    circuit.ccx(0, 1, 4)
+    circuit.cx(3, 4)
+    circuit.ccx(1, 2, 4)
+    circuit.cx(2, 4)
+    circuit.ccx(2, 3, 4)
+    circuit.measure_all()
+    return circuit
+
+
+def multiply_13() -> QuantumCircuit:
+    """Multiply_13: 13-qubit partial-product multiplication network.
+
+    Wires: a0..a2 (qubits 0-2), b0..b1 (qubits 3-4), product p0..p4
+    (qubits 5-9), carry scratch c0..c2 (qubits 10-12).  Toffoli partial
+    products accumulate into the product wires and scratch carries fold
+    into the high bits — the structural shape of the RevLib multiplier at
+    the published 13-qubit width.  The fixed input (a=101, b=11) makes
+    the output a deterministic bitstring.
+    """
+    circuit = QuantumCircuit(13, 13, name="multiply_13")
+    a = [0, 1, 2]
+    b = [3, 4]
+    p = [5, 6, 7, 8, 9]
+    c = [10, 11, 12]
+    # fixed input: a = 101, b = 11
+    circuit.x(a[0])
+    circuit.x(a[2])
+    circuit.x(b[0])
+    circuit.x(b[1])
+    # partial products a_i * b_j accumulated into p_{i+j}; scratch carries
+    # record the low partial products for the final fold
+    for j, bq in enumerate(b):
+        for i, aq in enumerate(a):
+            k = i + j
+            if k < len(c):
+                circuit.ccx(aq, bq, c[k])
+            circuit.ccx(aq, bq, p[k])
+    # fold scratch carries into the high product bits
+    circuit.cx(c[0], p[2])
+    circuit.cx(c[1], p[3])
+    circuit.cx(c[2], p[4])
+    circuit.measure_all()
+    return circuit
+
+
+def system_9() -> QuantumCircuit:
+    """System_9: 9-qubit linear-system style elimination network.
+
+    A banded forward-elimination pattern: row *q* is folded into its two
+    successors (CX + CCX) and then retired — each wire is measured as soon
+    as its elimination step completes, the staircase structure that gives
+    linear-system circuits their qubit-reuse opportunity (early rows are
+    dead long before late rows start).
+    """
+    circuit = QuantumCircuit(9, 9, name="system_9")
+    for q in (0, 3, 6):
+        circuit.x(q)
+    for q in range(8):
+        circuit.cx(q, q + 1)
+        if q + 2 < 9:
+            circuit.ccx(q, q + 1, q + 2)
+        # row q is eliminated: read it out and retire the wire
+        circuit.measure(q, q)
+    circuit.measure(8, 8)
+    return circuit
+
+
+def cc_circuit(num_qubits: int = 10) -> QuantumCircuit:
+    """CC_n: the counterfeit-coin finding circuit (QASMBench ``cc_n``).
+
+    ``n - 1`` coin qubits in superposition are weighed against one scale
+    ancilla through a CX star, then the superposition is undone and the
+    coins are measured.  Structurally a BV-like star with an extra
+    mid-circuit measurement on the ancilla.
+    """
+    if num_qubits < 3:
+        raise WorkloadError("cc needs at least 3 qubits")
+    coins = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits, num_qubits, name=f"cc_{num_qubits}")
+    ancilla = coins
+    for q in range(coins):
+        circuit.h(q)
+    for q in range(coins):
+        circuit.cx(q, ancilla)
+    circuit.h(ancilla)
+    circuit.measure(ancilla, ancilla)
+    # re-weigh conditioned on the scale reading (simplified classical branch)
+    circuit.x(ancilla).c_if(ancilla, 1)
+    for q in range(coins):
+        circuit.h(q)
+        circuit.measure(q, q)
+    return circuit
+
+
+def xor5() -> QuantumCircuit:
+    """XOR_5: 5-qubit parity — four inputs XORed onto one target.
+
+    The interaction graph is a degree-4 star, one more than heavy-hex
+    connectivity allows, making it a minimal SWAP-pressure example
+    (exactly the Fig. 4/5 situation).
+    """
+    circuit = QuantumCircuit(5, 5, name="xor_5")
+    circuit.x(0)
+    circuit.x(2)
+    circuit.x(3)
+    for q in range(4):
+        circuit.cx(q, 4)
+    circuit.measure_all()
+    return circuit

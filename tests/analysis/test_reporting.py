@@ -1,0 +1,55 @@
+"""Tests for metric collection and report formatting."""
+
+from repro.analysis import (
+    collect_metrics,
+    format_percent,
+    format_series,
+    format_table,
+)
+from repro.circuit import QuantumCircuit
+from repro.workloads import bv_circuit
+
+
+class TestCollectMetrics:
+    def test_basic_counts(self):
+        circuit = bv_circuit(5)
+        metrics = collect_metrics(circuit)
+        assert metrics.qubits_used == 5
+        assert metrics.two_qubit_count == 4
+        assert metrics.swap_count == 0
+        assert metrics.depth == circuit.depth()
+
+    def test_reuse_resets_counted(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.measure_and_reset(0, 0)
+        circuit.measure_and_reset(0, 1, style="builtin")
+        metrics = collect_metrics(circuit)
+        assert metrics.reuse_resets == 2
+
+    def test_plain_x_not_counted_as_reset(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        assert collect_metrics(circuit).reuse_resets == 0
+
+    def test_as_row_shape(self):
+        row = collect_metrics(bv_circuit(3)).as_row()
+        assert len(row) == 5
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1], ["b", 22.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[3]
+        assert "22.5" in lines[4]
+
+    def test_series(self):
+        text = format_series("fig", [1, 2], [10, 20], "x", "y")
+        assert "fig" in text
+        assert text.count("\n") == 2
+
+    def test_percent(self):
+        assert format_percent(0.375) == "37.5%"

@@ -1,0 +1,57 @@
+"""Tests for max-cut utilities."""
+
+import networkx as nx
+import pytest
+
+from repro.apps import best_cut_brute_force, cut_value, expected_cut_from_counts
+from repro.exceptions import WorkloadError
+
+
+def triangle():
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (1, 2), (0, 2)])
+    return graph
+
+
+class TestCutValue:
+    def test_uniform_assignment_cuts_nothing(self):
+        assert cut_value(triangle(), "000") == 0
+        assert cut_value(triangle(), "111") == 0
+
+    def test_triangle_best_is_two(self):
+        assert cut_value(triangle(), "011") == 2
+        assert cut_value(triangle(), "100") == 2
+
+    def test_extra_bits_ignored(self):
+        assert cut_value(triangle(), "01101") == 2
+
+    def test_short_assignment_rejected(self):
+        with pytest.raises(WorkloadError):
+            cut_value(triangle(), "01")
+
+
+class TestExpectedCut:
+    def test_weighted_average(self):
+        counts = {"000": 50, "011": 50}
+        assert expected_cut_from_counts(triangle(), counts) == pytest.approx(1.0)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            expected_cut_from_counts(triangle(), {})
+
+
+class TestBruteForce:
+    def test_triangle(self):
+        assert best_cut_brute_force(triangle()) == 2
+
+    def test_path(self):
+        graph = nx.path_graph(4)
+        assert best_cut_brute_force(graph) == 3
+
+    def test_complete_bipartite(self):
+        graph = nx.complete_bipartite_graph(3, 3)
+        assert best_cut_brute_force(graph) == 9
+
+    def test_size_cap(self):
+        with pytest.raises(WorkloadError):
+            best_cut_brute_force(nx.path_graph(25))

@@ -1,0 +1,77 @@
+"""Tests for the end-to-end QAOA runner."""
+
+import networkx as nx
+import pytest
+
+from repro.apps import best_cut_brute_force, run_qaoa
+from repro.apps.qaoa_runner import baseline_factory, sr_caqr_factory
+from repro.exceptions import WorkloadError
+from repro.hardware import ibm_mumbai
+from repro.sim import NoiseModel
+from repro.workloads import random_graph
+
+
+def small_graph():
+    return random_graph(6, 0.4, seed=9)
+
+
+class TestRunQAOA:
+    def test_trace_recorded(self):
+        graph = small_graph()
+        trace = run_qaoa(
+            graph, baseline_factory(graph), shots=128, max_iterations=8
+        )
+        assert trace.evaluations >= 3
+        assert trace.best_energy == min(trace.energies)
+
+    def test_energy_bounded_by_max_cut(self):
+        graph = small_graph()
+        best = best_cut_brute_force(graph)
+        trace = run_qaoa(
+            graph, baseline_factory(graph), shots=256, max_iterations=10
+        )
+        assert -trace.best_energy <= best + 1e-9
+
+    def test_optimisation_improves_over_first_evaluation(self):
+        graph = small_graph()
+        trace = run_qaoa(
+            graph, baseline_factory(graph), shots=256, max_iterations=15
+        )
+        assert trace.best_energy <= trace.energies[0]
+
+    def test_tiny_graph_rejected(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        with pytest.raises(WorkloadError):
+            run_qaoa(graph, baseline_factory(graph))
+
+    def test_noisy_run_executes(self):
+        graph = small_graph()
+        noise = NoiseModel.uniform(two_qubit_error=0.02, readout=0.03)
+        trace = run_qaoa(
+            graph, baseline_factory(graph), noise=noise, shots=64, max_iterations=5
+        )
+        assert trace.evaluations >= 3
+
+    def test_sr_factory_produces_narrower_circuits(self):
+        graph = random_graph(8, 0.3, seed=10)
+        backend = ibm_mumbai()
+        factory = sr_caqr_factory(graph, backend)
+        circuit, noise = factory(0.8, 0.4)
+        assert circuit.num_qubits < backend.num_qubits
+        assert noise is not None and not noise.is_trivial()
+        trace = run_qaoa(graph, factory, shots=64, max_iterations=4)
+        assert trace.evaluations >= 2
+
+    def test_transpiled_factory_returns_noise_pair(self):
+        from repro.apps import transpiled_factory
+
+        graph = random_graph(6, 0.4, seed=11)
+        backend = ibm_mumbai()
+        circuit, noise = transpiled_factory(graph, backend)(0.8, 0.4)
+        assert circuit.num_qubits <= backend.num_qubits
+        assert noise is not None
+        # noise must be remapped onto the compacted wires
+        assert all(
+            q < circuit.num_qubits for q in noise.readout
+        )

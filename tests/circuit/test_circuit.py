@@ -1,0 +1,222 @@
+"""Unit tests for QuantumCircuit."""
+
+import pytest
+
+from repro.circuit import Instruction, QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+def bv_circuit(n: int) -> QuantumCircuit:
+    """Bernstein-Vazirani with all-ones secret over n data qubits."""
+    circuit = QuantumCircuit(n + 1, n)
+    circuit.x(n)
+    circuit.h(n)
+    for q in range(n):
+        circuit.h(q)
+        circuit.cx(q, n)
+        circuit.h(q)
+        circuit.measure(q, q)
+    return circuit
+
+
+class TestBuilding:
+    def test_gate_methods_append(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        assert len(circuit) == 2
+        assert circuit.data[0].name == "h"
+        assert circuit.data[1].qubits == (0, 1)
+
+    def test_out_of_range_qubit_raises(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.h(2)
+
+    def test_out_of_range_clbit_raises(self):
+        circuit = QuantumCircuit(2, 1)
+        with pytest.raises(CircuitError):
+            circuit.measure(0, 1)
+
+    def test_condition_clbit_checked(self):
+        circuit = QuantumCircuit(1, 1)
+        with pytest.raises(CircuitError):
+            circuit.append(Instruction("x", (0,), condition=(5, 1)))
+
+    def test_measure_all_grows_creg(self):
+        circuit = QuantumCircuit(3, 0)
+        circuit.measure_all()
+        assert circuit.num_clbits == 3
+        assert circuit.count_ops()["measure"] == 3
+
+    def test_parametric_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.5, 0)
+        circuit.rzz(1.0, 0, 1)
+        circuit.cp(0.25, 0, 1)
+        assert circuit.data[0].params == (0.5,)
+        assert circuit.data[1].params == (1.0,)
+
+    def test_barrier_default_covers_all(self):
+        circuit = QuantumCircuit(3)
+        circuit.barrier()
+        assert circuit.data[0].qubits == (0, 1, 2)
+
+
+class TestMeasureAndReset:
+    def test_cif_style(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure_and_reset(0, 0)
+        assert [i.name for i in circuit.data] == ["measure", "x"]
+        assert circuit.data[1].condition == (0, 1)
+
+    def test_builtin_style(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure_and_reset(0, 0, style="builtin")
+        assert [i.name for i in circuit.data] == ["measure", "reset"]
+
+    def test_unknown_style_raises(self):
+        circuit = QuantumCircuit(1, 1)
+        with pytest.raises(CircuitError):
+            circuit.measure_and_reset(0, 0, style="bogus")
+
+    def test_cif_is_faster_than_builtin(self):
+        """Paper Fig. 2: the optimised reset takes about half the time."""
+        cif = QuantumCircuit(1, 1)
+        cif.measure_and_reset(0, 0, style="cif")
+        builtin = QuantumCircuit(1, 1)
+        builtin.measure_and_reset(0, 0, style="builtin")
+        assert cif.duration_dt() < 0.55 * builtin.duration_dt()
+
+
+class TestAnalysis:
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        assert circuit.depth() == 2
+
+    def test_depth_serial_chain(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(5):
+            circuit.cx(0, 1)
+        assert circuit.depth() == 5
+
+    def test_barrier_not_counted_in_depth_but_orders(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(1)
+        # h(1) must come after the barrier which comes after h(0)
+        assert circuit.depth() == 2
+
+    def test_measure_then_conditional_serializes_via_clbit(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        circuit.x(1).c_if(0, 1)
+        assert circuit.depth() == 2
+
+    def test_count_ops_and_size(self):
+        circuit = bv_circuit(3)
+        ops = circuit.count_ops()
+        assert ops["cx"] == 3
+        assert ops["measure"] == 3
+        assert circuit.size() == len(circuit.data)
+
+    def test_two_qubit_gate_count(self):
+        circuit = bv_circuit(4)
+        assert circuit.two_qubit_gate_count() == 4
+
+    def test_used_qubits_skips_idle_wires(self):
+        circuit = QuantumCircuit(5)
+        circuit.h(1)
+        circuit.cx(1, 3)
+        assert circuit.used_qubits() == [1, 3]
+        assert circuit.num_used_qubits() == 2
+
+    def test_interaction_graph_star_for_bv(self):
+        """Paper Fig. 4(b): BV's interaction graph is a star on the target."""
+        n = 4
+        graph = bv_circuit(n).interaction_graph()
+        degrees = dict(graph.degree())
+        assert degrees[n] == n
+        for q in range(n):
+            assert degrees[q] == 1
+
+    def test_interaction_graph_edge_counts(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        graph = circuit.interaction_graph()
+        assert graph[0][1]["count"] == 2
+
+    def test_duration_uses_gate_durations(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        assert circuit.duration_dt() == circuit.data[0].duration_dt()
+
+
+class TestDynamicDetection:
+    def test_static_circuit(self):
+        circuit = bv_circuit(2)
+        # measurements are terminal per qubit: still "dynamic-free"? BV measures
+        # each qubit after its last gate, and no gate follows a measure on the
+        # same qubit, no resets, no conditions.
+        assert not circuit.has_dynamic_operations()
+
+    def test_mid_circuit_measurement_detected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.h(0)
+        assert circuit.has_dynamic_operations()
+
+    def test_conditional_detected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).c_if(0, 1)
+        assert circuit.has_dynamic_operations()
+
+    def test_reset_detected(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        assert circuit.has_dynamic_operations()
+
+
+class TestComposeAndCopy:
+    def test_copy_independent(self):
+        circuit = bv_circuit(2)
+        duplicate = circuit.copy()
+        duplicate.h(0)
+        assert len(duplicate) == len(circuit) + 1
+
+    def test_compose_identity(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b)
+        assert [i.name for i in combined.data] == ["h", "cx"]
+
+    def test_compose_with_mapping(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b, qubits=[2, 0])
+        assert combined.data[0].qubits == (2, 0)
+
+    def test_compose_bad_mapping_raises(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            a.compose(b, qubits=[0])
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        remapped = circuit.remap_qubits({0: 1, 2: 0, 1: 2}, num_qubits=3)
+        assert remapped.data[0].qubits == (1, 0)
+
+    def test_equality(self):
+        assert bv_circuit(2) == bv_circuit(2)
+        assert bv_circuit(2) != bv_circuit(3)

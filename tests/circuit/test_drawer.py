@@ -1,0 +1,77 @@
+"""Tests for the ASCII circuit drawer."""
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.drawer import draw
+from repro.workloads import bv_circuit
+
+
+class TestDraw:
+    def test_one_row_per_qubit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        text = draw(circuit)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("q0: ")
+        assert lines[2].startswith("q2: ")
+
+    def test_gate_symbols(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(1, 0)
+        text = draw(circuit)
+        assert "H" in text
+        assert "*" in text and "X" in text
+        assert "M" in text
+
+    def test_conditional_annotation(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.x(0).c_if(0, 1)
+        assert "X?c0" in draw(circuit)
+
+    def test_reset_symbol(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        assert "|0>" in draw(circuit)
+
+    def test_parallel_gates_share_column(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        lines = draw(circuit).splitlines()
+        # both H at the same column position
+        assert lines[0].index("H") == lines[1].index("H")
+
+    def test_serial_gates_use_new_columns(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.x(0)
+        line = draw(circuit).splitlines()[0]
+        assert line.index("H") < line.index("X")
+
+    def test_crossed_wire_marks_span(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        lines = draw(circuit).splitlines()
+        assert "|" in lines[1]
+
+    def test_parametric_label(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.5, 0)
+        assert "RZ(0.5)" in draw(circuit)
+
+    def test_long_circuit_wraps(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(200):
+            circuit.x(0)
+        text = draw(circuit, max_width=60)
+        assert all(len(line) <= 60 for line in text.splitlines())
+
+    def test_reused_bv_renders(self):
+        from repro.core import QSCaQR
+
+        reused = QSCaQR().reduce_to(bv_circuit(4), 2).circuit
+        text = draw(reused)
+        assert "X?c" in text  # the reuse reset idiom is visible

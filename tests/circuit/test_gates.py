@@ -1,0 +1,116 @@
+"""Unit tests for the gate registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import gates
+from repro.exceptions import CircuitError
+
+
+def _is_unitary(matrix: np.ndarray) -> bool:
+    dim = matrix.shape[0]
+    return np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+
+class TestGateRegistry:
+    def test_all_specs_have_matching_name(self):
+        for name, spec in gates.GATES.items():
+            assert spec.name == name
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            gates.gate_spec("frobnicate")
+
+    def test_every_unitary_gate_matrix_is_unitary(self):
+        for name, spec in gates.GATES.items():
+            if spec.matrix_fn is None:
+                continue
+            params = tuple(0.37 * (i + 1) for i in range(spec.num_params))
+            matrix = gates.gate_matrix(name, params)
+            assert matrix.shape == (2**spec.num_qubits, 2**spec.num_qubits)
+            assert _is_unitary(matrix), f"{name} is not unitary"
+
+    def test_matrix_param_count_checked(self):
+        with pytest.raises(CircuitError):
+            gates.gate_matrix("rz")
+        with pytest.raises(CircuitError):
+            gates.gate_matrix("h", (0.1,))
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(CircuitError):
+            gates.gate_matrix("measure")
+        assert not gates.is_unitary_gate("measure")
+
+    def test_two_qubit_classification(self):
+        assert gates.is_two_qubit_gate("cx")
+        assert gates.is_two_qubit_gate("rzz")
+        assert not gates.is_two_qubit_gate("h")
+        assert not gates.is_two_qubit_gate("ccx")
+
+    def test_directive_classification(self):
+        assert gates.is_directive("barrier")
+        assert not gates.is_directive("cx")
+
+
+class TestGateMatrices:
+    def test_hadamard_squares_to_identity(self):
+        h = gates.gate_matrix("h")
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_cx_action_on_basis(self):
+        cx = gates.gate_matrix("cx")
+        # |10> (control=1, target=0) -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(cx @ state, np.eye(4)[3])
+        # |00> unchanged
+        assert np.allclose(cx @ np.eye(4)[0], np.eye(4)[0])
+
+    def test_rz_phases(self):
+        rz = gates.gate_matrix("rz", (math.pi,))
+        assert np.allclose(rz, np.diag([-1j, 1j]))
+
+    def test_rzz_diagonal(self):
+        theta = 0.7
+        rzz = gates.gate_matrix("rzz", (theta,))
+        assert np.allclose(np.diag(rzz).imag[0], -math.sin(theta / 2))
+        assert np.allclose(rzz, np.diag(np.diag(rzz)))
+
+    def test_swap_matrix(self):
+        swap = gates.gate_matrix("swap")
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(swap @ state, np.eye(4)[2])  # -> |10>
+
+    def test_u_reduces_to_known_gates(self):
+        u = gates.gate_matrix("u", (math.pi / 2, 0.0, math.pi))
+        h = gates.gate_matrix("h")
+        assert np.allclose(u, h, atol=1e-10)
+
+    def test_sx_squares_to_x(self):
+        sx = gates.gate_matrix("sx")
+        x = gates.gate_matrix("x")
+        assert np.allclose(sx @ sx, x)
+
+    def test_ccx_flips_only_when_both_controls_set(self):
+        ccx = gates.gate_matrix("ccx")
+        assert np.allclose(ccx @ np.eye(8)[6], np.eye(8)[7])
+        assert np.allclose(ccx @ np.eye(8)[5], np.eye(8)[5])
+
+
+class TestDurations:
+    def test_paper_reset_figures(self):
+        """Paper Section 2.1: measure+reset = 33,179 dt; measure+c_if(X) = 16,467 dt."""
+        measure = gates.default_duration("measure")
+        reset = gates.default_duration("reset")
+        x = gates.default_duration("x")
+        assert measure + reset == 33179
+        assert measure + x + gates.CONDITIONAL_LATENCY_DT == 16467
+
+    def test_virtual_rz(self):
+        assert gates.default_duration("rz") == 0
+
+    def test_two_qubit_slower_than_one_qubit(self):
+        assert gates.default_duration("cx") > gates.default_duration("x")

@@ -1,0 +1,92 @@
+"""Unit tests for Instruction."""
+
+import pytest
+
+from repro.circuit import Instruction
+from repro.circuit.gates import CONDITIONAL_LATENCY_DT, default_duration
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_basic_gate(self):
+        instruction = Instruction("cx", (0, 1))
+        assert instruction.qubits == (0, 1)
+        assert instruction.is_two_qubit()
+        assert instruction.is_unitary()
+
+    def test_wrong_qubit_arity_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("cx", (0,))
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(CircuitError):
+            Instruction("cx", (1, 1))
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("rz", (0,))
+
+    def test_measure_needs_clbit(self):
+        with pytest.raises(CircuitError):
+            Instruction("measure", (0,))
+        instruction = Instruction("measure", (0,), clbits=(3,))
+        assert instruction.clbits == (3,)
+
+    def test_barrier_needs_qubits(self):
+        with pytest.raises(CircuitError):
+            Instruction("barrier")
+        instruction = Instruction("barrier", (0, 1, 2))
+        assert instruction.is_directive()
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("nope", (0,))
+
+
+class TestConditions:
+    def test_c_if_returns_self_and_sets_condition(self):
+        instruction = Instruction("x", (0,))
+        result = instruction.c_if(2, 1)
+        assert result is instruction
+        assert instruction.condition == (2, 1)
+
+    def test_bad_condition_value(self):
+        with pytest.raises(CircuitError):
+            Instruction("x", (0,)).c_if(0, 5)
+        with pytest.raises(CircuitError):
+            Instruction("x", (0,), condition=(0, 3))
+
+    def test_conditional_adds_latency(self):
+        plain = Instruction("x", (0,))
+        conditioned = Instruction("x", (0,), condition=(0, 1))
+        assert conditioned.duration_dt() == plain.duration_dt() + CONDITIONAL_LATENCY_DT
+
+
+class TestRemap:
+    def test_remap_qubits_with_dict(self):
+        instruction = Instruction("cx", (0, 1))
+        remapped = instruction.remapped({0: 5, 1: 3})
+        assert remapped.qubits == (5, 3)
+        assert instruction.qubits == (0, 1)  # original untouched
+
+    def test_remap_with_callable(self):
+        instruction = Instruction("cx", (0, 1))
+        remapped = instruction.remapped(lambda q: q + 10)
+        assert remapped.qubits == (10, 11)
+
+    def test_remap_clbits_and_condition(self):
+        instruction = Instruction("measure", (0,), clbits=(1,), condition=None)
+        instruction2 = Instruction("x", (0,), condition=(1, 1))
+        assert instruction.remapped(None, {1: 7}).clbits == (7,)
+        assert instruction2.remapped(None, {1: 7}).condition == (7, 1)
+
+    def test_copy_is_independent(self):
+        instruction = Instruction("x", (0,))
+        duplicate = instruction.copy()
+        duplicate.c_if(0, 1)
+        assert instruction.condition is None
+
+
+class TestDuration:
+    def test_default_duration_matches_registry(self):
+        assert Instruction("cx", (0, 1)).duration_dt() == default_duration("cx")

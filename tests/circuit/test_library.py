@@ -1,0 +1,103 @@
+"""Tests for the generic circuit library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.library import bell_pair, ghz, linear_entangler, qft
+from repro.exceptions import CircuitError
+from repro.sim import final_statevector, run_counts
+
+
+class TestBellAndGHZ:
+    def test_bell_pair_state(self):
+        state = final_statevector(bell_pair())
+        assert abs(state[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(state[3]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_ghz_measured_counts(self):
+        counts = run_counts(ghz(3, measure=True), shots=2000, seed=1)
+        assert set(counts) == {"000", "111"}
+
+    def test_ghz_width(self):
+        circuit = ghz(5)
+        assert circuit.num_qubits == 5
+        assert circuit.num_clbits == 0
+
+    def test_ghz_needs_one_qubit(self):
+        with pytest.raises(CircuitError):
+            ghz(0)
+
+
+class TestQFT:
+    def test_qft_gate_count(self):
+        circuit = qft(4)
+        ops = circuit.count_ops()
+        assert ops["h"] == 4
+        assert ops["cp"] == 6  # n(n-1)/2 controlled phases
+
+    def test_qft_on_zero_is_uniform(self):
+        state = final_statevector(qft(3))
+        assert np.allclose(np.abs(state), 1 / math.sqrt(8))
+
+    def test_qft_unitary_on_basis_state(self):
+        """QFT|1> has the expected phase ramp."""
+        from repro.circuit import QuantumCircuit
+
+        n = 3
+        circuit = QuantumCircuit(n)
+        circuit.x(n - 1)  # |001> = integer 1 (qubit 0 most significant)
+        prepared = circuit.compose(qft(n))
+        state = final_statevector(prepared)
+        # phases should rotate uniformly; magnitudes stay flat
+        assert np.allclose(np.abs(state), 1 / math.sqrt(8))
+
+    def test_qft_fully_connected_interaction(self):
+        graph = qft(4).interaction_graph()
+        assert graph.number_of_edges() == 6
+
+    def test_qft_needs_one_qubit(self):
+        with pytest.raises(CircuitError):
+            qft(0)
+
+
+class TestEntangler:
+    def test_layer_structure(self):
+        circuit = linear_entangler(4, layers=2)
+        ops = circuit.count_ops()
+        assert ops["ry"] == 8
+        assert ops["cx"] == 6  # 3 per layer on 4 qubits
+
+    def test_minimum_width(self):
+        with pytest.raises(CircuitError):
+            linear_entangler(1)
+
+
+class TestGoldenReuseFloors:
+    """Regression guards: compiled widths for the benchmark suite."""
+
+    def test_floors(self):
+        from repro.core import lifetime_compile_regular
+        from repro.workloads import regular_benchmark
+
+        expected = {
+            "rd_32": 4,
+            "4mod5": 4,
+            "xor_5": 2,
+            "system_9": 3,
+            "bv_10": 2,
+            "cc_10": 2,
+            "multiply_13": 8,
+        }
+        for name, floor in expected.items():
+            result = lifetime_compile_regular(regular_benchmark(name))
+            assert result.qubits == floor, name
+
+    def test_qft_admits_no_reuse(self):
+        """All-to-all interaction: the negative control for the library."""
+        from repro.core import valid_reuse_pairs
+
+        circuit = qft(4)
+        circuit.measure_all()
+        assert valid_reuse_pairs(circuit) == []

@@ -1,0 +1,146 @@
+"""Tests for the OpenQASM 2.0 parser and exporter."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, parse_qasm, to_qasm
+from repro.exceptions import QasmError
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestParser:
+    def test_minimal_program(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\n")
+        assert circuit.num_qubits == 2
+        assert circuit.num_clbits == 2
+        assert [i.name for i in circuit.data] == ["h", "cx"]
+
+    def test_measure_arrow(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; creg c[1]; measure q[0] -> c[0];")
+        assert circuit.data[0].name == "measure"
+        assert circuit.data[0].clbits == (0,)
+
+    def test_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg q[3]; creg c[3]; h q; measure q -> c;")
+        assert circuit.count_ops()["h"] == 3
+        assert circuit.count_ops()["measure"] == 3
+
+    def test_parameter_expressions(self):
+        circuit = parse_qasm(HEADER + "qreg q[1]; rz(pi/2) q[0]; rx(-pi) q[0]; ry(2*pi/4) q[0];")
+        assert circuit.data[0].params[0] == pytest.approx(math.pi / 2)
+        assert circuit.data[1].params[0] == pytest.approx(-math.pi)
+        assert circuit.data[2].params[0] == pytest.approx(math.pi / 2)
+
+    def test_u_aliases(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[1]; u1(0.5) q[0]; u2(0.1,0.2) q[0]; u3(1,2,3) q[0];"
+        )
+        assert circuit.data[0].name == "p"
+        assert circuit.data[1].name == "u"
+        assert circuit.data[1].params[0] == pytest.approx(math.pi / 2)
+        assert circuit.data[2].name == "u"
+
+    def test_multiple_registers_flatten(self):
+        circuit = parse_qasm(HEADER + "qreg a[2]; qreg b[2]; cx a[1], b[0];")
+        assert circuit.num_qubits == 4
+        assert circuit.data[0].qubits == (1, 2)
+
+    def test_gate_macro_inlined(self):
+        text = HEADER + (
+            "gate mygate(t) a, b { h a; cx a, b; rz(t/2) b; }\n"
+            "qreg q[2];\nmygate(pi) q[0], q[1];\n"
+        )
+        circuit = parse_qasm(text)
+        assert [i.name for i in circuit.data] == ["h", "cx", "rz"]
+        assert circuit.data[2].params[0] == pytest.approx(math.pi / 2)
+
+    def test_nested_macro(self):
+        text = HEADER + (
+            "gate inner a { h a; }\n"
+            "gate outer a, b { inner a; cx a, b; }\n"
+            "qreg q[2];\nouter q[0], q[1];\n"
+        )
+        circuit = parse_qasm(text)
+        assert [i.name for i in circuit.data] == ["h", "cx"]
+
+    def test_if_condition_single_bit(self):
+        text = HEADER + "qreg q[1]; creg c[1]; measure q[0] -> c[0]; if (c == 1) x q[0];"
+        circuit = parse_qasm(text)
+        assert circuit.data[1].condition == (0, 1)
+
+    def test_if_condition_wide_register_rejected(self):
+        text = HEADER + "qreg q[1]; creg c[2]; if (c == 1) x q[0];"
+        with pytest.raises(QasmError):
+            parse_qasm(text)
+
+    def test_reset_and_barrier(self):
+        circuit = parse_qasm(HEADER + "qreg q[2]; reset q[0]; barrier q[0], q[1];")
+        assert circuit.data[0].name == "reset"
+        assert circuit.data[1].name == "barrier"
+
+    def test_comments_ignored(self):
+        circuit = parse_qasm(HEADER + "// header comment\nqreg q[1]; h q[0]; // trailing\n")
+        assert len(circuit) == 1
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1]; zorp q[0];")
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1]; h q[5];")
+
+    def test_bad_character_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1]; h q[0] @;")
+
+    def test_opaque_skipped(self):
+        circuit = parse_qasm(HEADER + "opaque magic a, b; qreg q[1]; h q[0];")
+        assert len(circuit) == 1
+
+
+class TestExporter:
+    def test_roundtrip_simple(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        parsed = parse_qasm(to_qasm(circuit))
+        assert [i.name for i in parsed.data] == [i.name for i in circuit.data]
+        assert parsed.num_qubits == circuit.num_qubits
+
+    def test_roundtrip_parametric(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(1.2345, 0)
+        circuit.rzz(0.5, 0, 1)
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed.data[0].params[0] == pytest.approx(1.2345)
+
+    def test_roundtrip_dynamic_reset(self):
+        """The reuse idiom (measure + conditional X) must survive a roundtrip."""
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.measure_and_reset(0, 0)
+        circuit.h(0)
+        circuit.measure(0, 1)
+        parsed = parse_qasm(to_qasm(circuit))
+        names = [i.name for i in parsed.data]
+        assert names == ["h", "measure", "x", "h", "measure"]
+        conditional = parsed.data[2]
+        assert conditional.condition is not None
+        assert conditional.condition[1] == 1
+        # the condition must read the same bit the first measure wrote
+        assert conditional.condition[0] == parsed.data[1].clbits[0]
+
+    def test_exports_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier(0, 1)
+        assert "barrier q[0], q[1];" in to_qasm(circuit)
+
+    def test_header_present(self):
+        circuit = QuantumCircuit(1)
+        text = to_qasm(circuit)
+        assert text.startswith("OPENQASM 2.0;")

@@ -1,0 +1,107 @@
+"""Tests for reuse Conditions 1 and 2."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    ReuseAnalysis,
+    ReusePair,
+    condition1_ok,
+    condition2_ok,
+    is_valid_pair,
+    valid_reuse_pairs,
+)
+from repro.workloads import bv_circuit
+
+
+class TestReusePair:
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            ReusePair(1, 1)
+
+    def test_str(self):
+        assert str(ReusePair(0, 3)) == "(q0 -> q3)"
+
+
+class TestCondition1:
+    def test_shared_gate_blocks(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        assert not condition1_ok(circuit, 0, 1)
+        assert not condition1_ok(circuit, 1, 0)
+
+    def test_disjoint_qubits_pass(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.h(2)
+        assert condition1_ok(circuit, 0, 2)
+
+    def test_shared_barrier_blocks(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier(0, 1)
+        circuit.h(1)
+        assert not condition1_ok(circuit, 0, 1)
+
+
+class TestCondition2:
+    def test_paper_fig7(self):
+        """Fig. 7: (q1 -> q4) invalid because g(q3,q1) depends on g(q4,q2)."""
+        circuit = QuantumCircuit(4)
+        q1, q2, q3, q4 = 0, 1, 2, 3
+        circuit.cx(q4, q2)
+        circuit.cx(q2, q3)
+        circuit.cx(q3, q1)
+        assert condition1_ok(circuit, q1, q4)  # no shared gate
+        assert not condition2_ok(circuit, q1, q4)  # but cyclic
+        assert not is_valid_pair(circuit, q1, q4)
+        # the reverse direction is fine: q4 finishes before q1 starts
+        assert condition2_ok(circuit, q4, q1)
+        assert is_valid_pair(circuit, q4, q1)
+
+    def test_forward_dependency_allows(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        # q0's gate precedes q2's gate, so (q0 -> q2) is valid
+        assert is_valid_pair(circuit, 0, 2)
+        # and (q2 -> q0) is not: q0's gate depends on nothing of q2, but
+        # q2's gate depends on q0's -> reusing q2 for q0 is a cycle
+        assert not condition2_ok(circuit, 2, 0)
+
+
+class TestValidPairs:
+    def test_bv_structure(self):
+        """In BV, earlier data qubits can be reused by later ones."""
+        circuit = bv_circuit(4)  # data qubits 0,1,2; ancilla 3
+        pairs = set((p.source, p.target) for p in valid_reuse_pairs(circuit))
+        assert (0, 1) in pairs
+        assert (0, 2) in pairs
+        assert (1, 2) in pairs
+        # later data qubits cannot be reused by earlier ones (ancilla chain)
+        assert (1, 0) not in pairs
+        assert (2, 0) not in pairs
+        # the ancilla interacts with everyone: never reusable
+        assert not any(3 in pair for pair in pairs)
+
+    def test_unused_qubits_excluded(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        analysis = ReuseAnalysis(circuit)
+        assert not analysis.is_valid(ReusePair(0, 2))
+        assert not analysis.is_valid(ReusePair(2, 0))
+
+    def test_parallel_qubits_reusable_both_ways(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        pairs = set((p.source, p.target) for p in valid_reuse_pairs(circuit))
+        assert (0, 2) in pairs and (2, 0) in pairs
+        assert (1, 3) in pairs and (3, 1) in pairs
+
+    def test_no_pairs_in_fully_connected_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        assert valid_reuse_pairs(circuit) == []

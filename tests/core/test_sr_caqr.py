@@ -1,0 +1,124 @@
+"""Tests for the SR-CaQR router (paper Section 3.3)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import SRCaQR
+from repro.hardware import CouplingMap, generic_backend, ibm_mumbai, line
+from repro.sim import run_counts
+from repro.workloads import bv_circuit, bv_expected_bitstring, xor5
+
+
+def assert_compliant(circuit, coupling):
+    for instruction in circuit.data:
+        if len(instruction.qubits) == 2 and not instruction.is_directive():
+            assert coupling.are_adjacent(*instruction.qubits), str(instruction)
+
+
+def fig4_backend():
+    """The paper's Fig. 4(a) 5-qubit coupling: a degree-3 'T' shape."""
+    coupling = CouplingMap(5, [(0, 1), (1, 2), (1, 3), (3, 4)])
+    return generic_backend(coupling, seed=3)
+
+
+class TestBasics:
+    def test_trivial_circuit(self):
+        backend = generic_backend(line(3), seed=1)
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        result = SRCaQR(backend).run(circuit)
+        assert result.swap_count == 0
+        assert_compliant(result.circuit, backend.coupling)
+
+    def test_compliance_on_mumbai(self):
+        backend = ibm_mumbai()
+        result = SRCaQR(backend).run(bv_circuit(10))
+        assert_compliant(result.circuit, backend.coupling)
+
+    def test_all_original_gates_present(self):
+        backend = ibm_mumbai()
+        circuit = bv_circuit(6)
+        result = SRCaQR(backend).run(circuit)
+        original = circuit.count_ops()
+        compiled = result.circuit.count_ops()
+        assert compiled["cx"] >= original["cx"]
+        assert compiled["measure"] >= original["measure"]
+
+    def test_metrics_consistent(self):
+        backend = ibm_mumbai()
+        result = SRCaQR(backend).run(bv_circuit(8))
+        assert result.swap_count == result.circuit.swap_count()
+        assert result.depth == result.circuit.depth()
+        assert result.qubits_used <= backend.num_qubits
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("secret", [[1, 1, 1, 1], [1, 0, 1, 0]])
+    def test_bv_answer_preserved(self, secret):
+        backend = ibm_mumbai()
+        circuit = bv_circuit(5, secret=secret)
+        result = SRCaQR(backend).run(circuit)
+        counts = run_counts(result.circuit.compacted(), shots=150, seed=4)
+        expected = bv_expected_bitstring(5, secret)
+        projected = {}
+        for key, value in counts.items():
+            projected[key[:4]] = projected.get(key[:4], 0) + value
+        assert projected == {expected: 150}
+
+    def test_xor5_answer_preserved(self):
+        backend = ibm_mumbai()
+        circuit = xor5()
+        reference = next(iter(run_counts(circuit, shots=32, seed=5)))
+        result = SRCaQR(backend).run(circuit)
+        counts = run_counts(result.circuit.compacted(), shots=32, seed=6)
+        assert {k[:5] for k in counts} == {reference}
+
+
+class TestSwapReduction:
+    def test_bv5_on_fig4_needs_no_swap(self):
+        """Paper Fig. 4/5: the 5-qubit BV star does not fit the degree-3
+        coupling, but with one qubit reuse it maps SWAP-free."""
+        backend = fig4_backend()
+        result = SRCaQR(backend).run(bv_circuit(5))
+        assert result.swap_count == 0
+        assert result.reuse_count >= 1
+        assert_compliant(result.circuit, backend.coupling)
+
+    def test_reuse_reduces_qubit_usage(self):
+        backend = ibm_mumbai()
+        result = SRCaQR(backend).run(bv_circuit(10))
+        # BV_10 needs 10 wires without reuse; SR frees data qubits early
+        assert result.qubits_used < 10
+        assert result.reuse_count >= 1
+
+    def test_wider_than_device_compiles(self):
+        """SR-CaQR can run a circuit wider than the device via reuse."""
+        coupling = line(3)
+        backend = generic_backend(coupling, seed=7)
+        circuit = bv_circuit(6)  # 6 logical qubits on a 3-qubit device
+        result = SRCaQR(backend).run(circuit)
+        assert_compliant(result.circuit, coupling)
+        counts = run_counts(result.circuit.compacted(), shots=100, seed=8)
+        projected = {}
+        for key, value in counts.items():
+            projected[key[:5]] = projected.get(key[:5], 0) + value
+        assert projected == {"11111": 100}
+
+
+class TestNoiseAwareness:
+    def test_noise_aware_flag_changes_nothing_structural(self):
+        backend = ibm_mumbai()
+        aware = SRCaQR(backend, noise_aware=True).run(bv_circuit(6))
+        blind = SRCaQR(backend, noise_aware=False).run(bv_circuit(6))
+        # both must be valid; counts of logical ops identical
+        assert aware.circuit.count_ops()["cx"] == blind.circuit.count_ops()["cx"]
+
+    def test_reset_styles(self):
+        backend = fig4_backend()
+        cif = SRCaQR(backend, reset_style="cif").run(bv_circuit(5))
+        builtin = SRCaQR(backend, reset_style="builtin").run(bv_circuit(5))
+        assert any(i.condition is not None for i in cif.circuit.data)
+        assert "reset" in builtin.circuit.count_ops()

@@ -1,0 +1,86 @@
+"""Tests for SR-CaQR on commuting applications (paper Section 3.3.2)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import QSCaQRCommuting, SRCaQRCommuting, find_sweet_spot
+from repro.exceptions import ReuseError
+from repro.hardware import ibm_mumbai
+from repro.workloads import random_graph
+
+
+def path_graph(n):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+class TestSweetSpot:
+    def test_picks_largest_saving_within_budget(self):
+        sweep = QSCaQRCommuting(path_graph(8)).sweep()
+        spot = find_sweet_spot(sweep, depth_tolerance=10.0)
+        assert spot.qubits == min(p.qubits for p in sweep)
+
+    def test_zero_tolerance_keeps_baseline_depth(self):
+        sweep = QSCaQRCommuting(random_graph(10, 0.3, seed=1)).sweep()
+        spot = find_sweet_spot(sweep, depth_tolerance=0.0, absolute_slack=0)
+        assert spot.depth <= sweep[0].depth
+
+    def test_absolute_slack_admits_one_reuse_block(self):
+        sweep = QSCaQRCommuting(random_graph(10, 0.3, seed=2)).sweep()
+        tight = find_sweet_spot(sweep, depth_tolerance=0.0, absolute_slack=0)
+        slackful = find_sweet_spot(sweep, depth_tolerance=0.25, absolute_slack=4)
+        assert slackful.qubits <= tight.qubits
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ReuseError):
+            find_sweet_spot([])
+
+
+class TestSRCommuting:
+    def test_compiles_and_is_compliant(self):
+        backend = ibm_mumbai()
+        result = SRCaQRCommuting(backend).run(random_graph(10, 0.3, seed=2))
+        for instruction in result.circuit.data:
+            if len(instruction.qubits) == 2 and not instruction.is_directive():
+                assert backend.coupling.are_adjacent(*instruction.qubits)
+
+    def test_routing_driven_choice_is_no_worse_than_forced_baseline(self):
+        """SR picks its reuse level by routing outcome (SWAPs first)."""
+        backend = ibm_mumbai()
+        graph = random_graph(10, 0.3, seed=2)
+        chosen = SRCaQRCommuting(backend).run(graph)
+        forced_full = SRCaQRCommuting(backend).run(graph, qubit_limit=10)
+        assert chosen.swap_count <= forced_full.swap_count
+
+    def test_qubit_limit_forces_reuse_pairs(self):
+        backend = ibm_mumbai()
+        result = SRCaQRCommuting(backend).run(random_graph(10, 0.3, seed=2), qubit_limit=7)
+        assert result.qs_point.qubits == 7
+        assert len(result.pairs) == 3
+
+    def test_qubit_limit_respected(self):
+        backend = ibm_mumbai()
+        result = SRCaQRCommuting(backend).run(path_graph(8), qubit_limit=5)
+        assert result.qs_point.qubits == 5
+
+    def test_infeasible_limit_raises(self):
+        backend = ibm_mumbai()
+        with pytest.raises(ReuseError):
+            SRCaQRCommuting(backend).run(nx.complete_graph(5), qubit_limit=2)
+
+    def test_all_cost_gates_present(self):
+        backend = ibm_mumbai()
+        graph = random_graph(8, 0.3, seed=3)
+        result = SRCaQRCommuting(backend).run(graph)
+        assert result.circuit.count_ops()["rzz"] == graph.number_of_edges()
+
+    def test_measurements_cover_every_logical_qubit(self):
+        backend = ibm_mumbai()
+        graph = random_graph(8, 0.3, seed=3)
+        result = SRCaQRCommuting(backend).run(graph)
+        measured_clbits = {
+            i.clbits[0] for i in result.circuit.data if i.name == "measure"
+        }
+        assert set(range(8)).issubset(measured_clbits)

@@ -1,0 +1,78 @@
+"""Tests for SR-CaQR's selection options (objectives, QS assistance)."""
+
+import pytest
+
+from repro.core import SRCaQR, SRCaQRCommuting
+from repro.exceptions import ReuseError
+from repro.hardware import ibm_mumbai
+from repro.sim import estimated_success_probability
+from repro.workloads import multiply_13, random_graph, regular_benchmark
+
+
+class TestObjectives:
+    def test_unknown_objective_rejected(self):
+        backend = ibm_mumbai()
+        with pytest.raises(ReuseError):
+            SRCaQR(backend).run(regular_benchmark("xor_5"), objective="vibes")
+
+    def test_esp_objective_not_worse_on_esp(self):
+        backend = ibm_mumbai()
+        circuit = multiply_13()
+        by_swaps = SRCaQR(backend).run(circuit, objective="swaps")
+        by_esp = SRCaQR(backend).run(circuit, objective="esp")
+        esp_of = lambda r: estimated_success_probability(
+            r.circuit, backend.calibration
+        )
+        assert esp_of(by_esp) >= esp_of(by_swaps) - 1e-12
+
+    def test_swaps_objective_not_worse_on_swaps(self):
+        backend = ibm_mumbai()
+        circuit = multiply_13()
+        by_swaps = SRCaQR(backend).run(circuit, objective="swaps")
+        by_esp = SRCaQR(backend).run(circuit, objective="esp")
+        assert by_swaps.swap_count <= by_esp.swap_count
+
+
+class TestQSAssist:
+    def test_assist_never_hurts_swaps(self):
+        backend = ibm_mumbai()
+        circuit = multiply_13()
+        with_assist = SRCaQR(backend).run(circuit, qs_assist=True)
+        without = SRCaQR(backend).run(circuit, qs_assist=False)
+        assert with_assist.swap_count <= without.swap_count
+
+    def test_assist_skipped_for_dynamic_input(self):
+        """A circuit that already contains reuse ops is routed as-is."""
+        from repro.core import QSCaQR
+        from repro.workloads import bv_circuit
+
+        backend = ibm_mumbai()
+        reused = QSCaQR().reduce_to(bv_circuit(6), 3).circuit
+        assert reused.has_dynamic_operations()
+        result = SRCaQR(backend).run(reused)  # must not raise
+        assert result.qubits_used <= backend.num_qubits
+
+    def test_trials_one_still_valid(self):
+        backend = ibm_mumbai()
+        result = SRCaQR(backend).run(
+            regular_benchmark("xor_5"), trials=1, qs_assist=False
+        )
+        for instruction in result.circuit.data:
+            if len(instruction.qubits) == 2 and not instruction.is_directive():
+                assert backend.coupling.are_adjacent(*instruction.qubits)
+
+
+class TestCommutingObjectives:
+    def test_unknown_objective_rejected(self):
+        backend = ibm_mumbai()
+        with pytest.raises(ReuseError):
+            SRCaQRCommuting(backend).run(
+                random_graph(6, 0.3, seed=1), objective="vibes"
+            )
+
+    def test_esp_objective_runs(self):
+        backend = ibm_mumbai()
+        result = SRCaQRCommuting(backend).run(
+            random_graph(8, 0.3, seed=2), objective="esp"
+        )
+        assert result.circuit.count_ops()["rzz"] >= 1

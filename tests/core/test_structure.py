@@ -1,0 +1,132 @@
+"""Tests for commuting-structure extraction and auto-dispatch."""
+
+import networkx as nx
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compile_api import caqr_compile
+from repro.core.structure import extract_commuting_structure
+from repro.sim import run_counts, total_variation_distance
+from repro.workloads import bv_circuit, qaoa_maxcut_circuit, random_graph
+
+
+class TestExtraction:
+    def test_roundtrip_from_builder(self):
+        graph = random_graph(8, 0.3, seed=3)
+        circuit = qaoa_maxcut_circuit(graph, gammas=[0.7], betas=[0.3])
+        structure = extract_commuting_structure(circuit)
+        assert structure is not None
+        assert set(structure.graph.edges) == set(
+            tuple(sorted(e)) for e in graph.edges
+        )
+        assert structure.uniform_gamma() == pytest.approx(0.7)
+        assert structure.uniform_beta() == pytest.approx(0.3)
+        assert structure.measured == {q: q for q in range(8)}
+
+    def test_heterogeneous_angles_detected(self):
+        circuit = QuantumCircuit(3, 3)
+        for q in range(3):
+            circuit.h(q)
+        circuit.rzz(0.4, 0, 1)
+        circuit.rzz(0.9, 1, 2)
+        for q in range(3):
+            circuit.rx(0.6, q)
+            circuit.measure(q, q)
+        structure = extract_commuting_structure(circuit)
+        assert structure is not None
+        assert structure.uniform_gamma() is None
+        assert structure.edge_angles[(0, 1)] == pytest.approx(0.4)
+
+    def test_cz_edges_accepted(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cz(0, 1)
+        circuit.rx(0.8, 0)
+        circuit.rx(0.8, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        structure = extract_commuting_structure(circuit)
+        assert structure is not None
+        assert structure.graph.has_edge(0, 1)
+
+    def test_bv_is_not_commuting(self):
+        assert extract_commuting_structure(bv_circuit(5)) is None
+
+    def test_cx_rejects(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        circuit.rx(0.8, 0)
+        circuit.rx(0.8, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        assert extract_commuting_structure(circuit) is None
+
+    def test_missing_mixer_rejects(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.rzz(0.4, 0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        assert extract_commuting_structure(circuit) is None
+
+    def test_two_rounds_rejects(self):
+        graph = nx.path_graph(3)
+        circuit = qaoa_maxcut_circuit(graph, gammas=[0.1, 0.2], betas=[0.3, 0.4])
+        assert extract_commuting_structure(circuit) is None
+
+    def test_conditional_rejects(self):
+        circuit = qaoa_maxcut_circuit(nx.path_graph(3))
+        circuit.x(0).c_if(0, 1)
+        assert extract_commuting_structure(circuit) is None
+
+    def test_barriers_tolerated(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.barrier()
+        circuit.rzz(0.4, 0, 1)
+        circuit.rx(0.8, 0)
+        circuit.rx(0.8, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        assert extract_commuting_structure(circuit) is not None
+
+
+class TestAutoDispatch:
+    def test_qaoa_circuit_gets_commuting_savings(self):
+        """The regular pipeline cannot reorder QAOA gates; auto-dispatch
+        must unlock the (deeper) commuting-pipeline savings."""
+        graph = random_graph(8, 0.3, seed=5)
+        circuit = qaoa_maxcut_circuit(graph)
+        auto = caqr_compile(circuit, mode="max_reuse")
+        manual = caqr_compile(graph, mode="max_reuse")
+        regular_only = caqr_compile(circuit, mode="max_reuse", auto_commuting=False)
+        assert auto.metrics.qubits_used == manual.metrics.qubits_used
+        assert auto.metrics.qubits_used <= regular_only.metrics.qubits_used
+
+    def test_auto_dispatch_preserves_distribution(self):
+        graph = random_graph(6, 0.4, seed=6)
+        circuit = qaoa_maxcut_circuit(graph, gammas=[0.9], betas=[0.35])
+        report = caqr_compile(circuit, mode="max_reuse")
+        counts_original = run_counts(circuit, shots=6000, seed=7)
+        counts_compiled = run_counts(report.circuit, shots=6000, seed=7)
+
+        def project(counts):
+            out = {}
+            for key, value in counts.items():
+                out[key[:6]] = out.get(key[:6], 0) + value
+            return out
+
+        tvd = total_variation_distance(
+            project(counts_original), project(counts_compiled)
+        )
+        assert tvd < 0.08
+
+    def test_regular_circuit_unaffected_by_flag(self):
+        a = caqr_compile(bv_circuit(5), mode="max_reuse", auto_commuting=True)
+        b = caqr_compile(bv_circuit(5), mode="max_reuse", auto_commuting=False)
+        assert a.metrics.qubits_used == b.metrics.qubits_used == 2

@@ -1,0 +1,92 @@
+"""Tests for the tradeoff explorer and reuse-benefit identifier."""
+
+import pytest
+
+from repro.core import (
+    assess_reuse_benefit,
+    select_point,
+    sweep_commuting,
+    sweep_regular,
+)
+from repro.exceptions import ReuseError
+from repro.hardware import ibm_mumbai
+from repro.workloads import bv_circuit, random_graph
+
+
+class TestSweepRegular:
+    def test_logical_only_sweep(self):
+        points = sweep_regular(bv_circuit(6))
+        assert points[0].qubits == 6
+        assert points[-1].qubits == 2
+        assert all(p.compiled_depth is None for p in points)
+
+    def test_hardware_mapped_sweep(self):
+        backend = ibm_mumbai()
+        points = sweep_regular(bv_circuit(5), backend=backend)
+        assert all(p.compiled_depth is not None for p in points)
+        assert all(p.swap_count is not None for p in points)
+
+    def test_sweep_commuting(self):
+        points = sweep_commuting(random_graph(8, 0.3, seed=1))
+        assert points[0].qubits == 8
+        assert points[-1].qubits < 8
+
+
+class TestSelect:
+    def _points(self):
+        return sweep_regular(bv_circuit(6), backend=ibm_mumbai())
+
+    def test_baseline(self):
+        points = self._points()
+        assert select_point(points, "baseline") is points[0]
+
+    def test_max_reuse(self):
+        points = self._points()
+        assert select_point(points, "max_reuse").qubits == 2
+
+    def test_min_depth(self):
+        points = self._points()
+        chosen = select_point(points, "min_depth")
+        assert chosen.compiled_depth == min(p.compiled_depth for p in points)
+
+    def test_min_swap(self):
+        points = self._points()
+        chosen = select_point(points, "min_swap")
+        assert chosen.swap_count == min(p.swap_count for p in points)
+
+    def test_min_swap_needs_compiled_sweep(self):
+        logical_points = sweep_regular(bv_circuit(4))
+        with pytest.raises(ReuseError):
+            select_point(logical_points, "min_swap")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ReuseError):
+            select_point(self._points(), "fastest")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReuseError):
+            select_point([], "baseline")
+
+
+class TestBenefitIdentifier:
+    def test_bv_is_beneficial(self):
+        points = sweep_regular(bv_circuit(10))
+        report = assess_reuse_benefit(points)
+        assert report.beneficial
+        assert report.minimum_qubits == 2
+        assert report.saving_fraction == pytest.approx(0.8)
+
+    def test_dense_qaoa_not_beneficial(self):
+        """A complete interaction graph admits no reuse at all."""
+        import networkx as nx
+
+        points = sweep_commuting(nx.complete_graph(5))
+        report = assess_reuse_benefit(points)
+        assert not report.beneficial
+        assert report.saving_fraction == 0.0
+
+    def test_knee_within_tolerance(self):
+        points = sweep_regular(bv_circuit(8))
+        report = assess_reuse_benefit(points, knee_tolerance=0.5)
+        assert report.knee_depth_overhead <= 0.5
+        assert report.knee_qubits <= report.original_qubits

@@ -1,0 +1,109 @@
+"""Tests for the reuse transformation (wire merging via measure+reset)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import ReusePair, apply_reuse_chain, apply_reuse_pair
+from repro.exceptions import ReuseError
+from repro.sim import run_counts
+from repro.workloads import bv_circuit, bv_expected_bitstring
+
+
+class TestApplyReusePair:
+    def test_width_shrinks_by_one(self):
+        circuit = bv_circuit(4)
+        result = apply_reuse_pair(circuit, ReusePair(0, 1))
+        assert result.circuit.num_qubits == 3
+
+    def test_invalid_pair_rejected(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.cx(0, 1)
+        with pytest.raises(ReuseError):
+            apply_reuse_pair(circuit, ReusePair(0, 1))
+
+    def test_condition2_violation_rejected(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(3, 1)
+        circuit.cx(1, 2)
+        circuit.cx(2, 0)
+        with pytest.raises(ReuseError):
+            apply_reuse_pair(circuit, ReusePair(0, 3))
+
+    def test_reuses_existing_terminal_measure(self):
+        """BV's data qubits end in a measurement: no new clbit needed."""
+        circuit = bv_circuit(4)
+        result = apply_reuse_pair(circuit, ReusePair(0, 1))
+        assert result.circuit.num_clbits == circuit.num_clbits
+        assert result.measure_clbit == 0
+
+    def test_adds_measure_when_no_terminal_measure(self):
+        circuit = QuantumCircuit(3, 0)
+        circuit.h(0)
+        circuit.h(1)
+        result = apply_reuse_pair(circuit, ReusePair(0, 1))
+        assert result.circuit.num_clbits == 1
+        names = [i.name for i in result.circuit.data]
+        assert "measure" in names
+
+    def test_conditional_reset_inserted(self):
+        circuit = bv_circuit(4)
+        result = apply_reuse_pair(circuit, ReusePair(0, 1))
+        conditionals = [
+            i for i in result.circuit.data if i.condition is not None
+        ]
+        assert len(conditionals) == 1
+        assert conditionals[0].name == "x"
+        assert conditionals[0].condition == (0, 1)
+
+    def test_builtin_reset_style(self):
+        circuit = bv_circuit(4)
+        result = apply_reuse_pair(circuit, ReusePair(0, 1), reset_style="builtin")
+        assert "reset" in result.circuit.count_ops()
+
+    def test_bad_reset_style(self):
+        with pytest.raises(ReuseError):
+            apply_reuse_pair(bv_circuit(3), ReusePair(0, 1), reset_style="banana")
+
+    def test_target_gates_after_reset_on_merged_wire(self):
+        circuit = bv_circuit(4)
+        merged_wire_ops = []
+        result = apply_reuse_pair(circuit, ReusePair(0, 1))
+        wire = result.qubit_map[0]
+        for instruction in result.circuit.data:
+            if wire in instruction.qubits:
+                merged_wire_ops.append(instruction)
+        names = [i.name for i in merged_wire_ops]
+        # q0's H, CX, H, measure; the conditional X; then q1's gates
+        x_index = next(
+            i for i, instr in enumerate(merged_wire_ops) if instr.condition
+        )
+        assert "measure" in names[:x_index]
+        assert names[x_index + 1 :].count("cx") == 1
+
+    def test_semantics_bv_preserved(self):
+        """The reused BV circuit must still output the secret."""
+        circuit = bv_circuit(4, secret=[1, 0, 1])
+        result = apply_reuse_pair(circuit, ReusePair(0, 1))
+        counts = run_counts(result.circuit, shots=200, seed=5)
+        assert counts == {bv_expected_bitstring(4, [1, 0, 1]): 200}
+
+
+class TestApplyReuseChain:
+    def test_bv_to_two_qubits(self):
+        """Paper Fig. 1(c): chaining reuse takes 5-qubit BV to 2 qubits."""
+        circuit = bv_circuit(5)
+        # after each application the data wires renumber; reusing wire 0
+        # for the next data qubit is always pair (0 -> 1)
+        chained = apply_reuse_chain(
+            circuit, [ReusePair(0, 1), ReusePair(0, 1), ReusePair(0, 1)]
+        )
+        assert chained.num_qubits == 2
+        counts = run_counts(chained, shots=200, seed=6)
+        assert counts == {"1111": 200}
+
+    def test_chain_preserves_clbit_assignment(self):
+        circuit = bv_circuit(4, secret=[0, 1, 1])
+        chained = apply_reuse_chain(circuit, [ReusePair(0, 1), ReusePair(0, 1)])
+        assert chained.num_qubits == 2
+        counts = run_counts(chained, shots=100, seed=7)
+        assert counts == {"011": 100}

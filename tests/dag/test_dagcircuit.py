@@ -1,0 +1,134 @@
+"""Unit tests for DAGCircuit construction and manipulation."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.dag import DAGCircuit
+from repro.exceptions import DAGError
+
+
+def simple_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3, 1)
+    circuit.h(0)          # n0
+    circuit.cx(0, 1)      # n1
+    circuit.cx(1, 2)      # n2
+    circuit.measure(2, 0) # n3
+    return circuit
+
+
+class TestConstruction:
+    def test_node_count(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        assert len(dag) == 4
+
+    def test_wire_edges(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        order = dag.topological_order()
+        assert order == [0, 1, 2, 3]
+        assert 1 in dag.successors(0)
+        assert 2 in dag.successors(1)
+        assert 3 in dag.successors(2)
+
+    def test_parallel_gates_have_no_edge(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        dag = DAGCircuit.from_circuit(circuit)
+        assert not dag.successors(0)
+        assert not dag.predecessors(1)
+
+    def test_condition_creates_clbit_edge(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        circuit.x(1).c_if(0, 1)
+        dag = DAGCircuit.from_circuit(circuit)
+        assert 1 in dag.successors(0)
+
+    def test_front_layer(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        circuit.h(2)
+        dag = DAGCircuit.from_circuit(circuit)
+        assert set(dag.front_layer()) == {0, 1, 3}
+
+
+class TestMutation:
+    def test_add_virtual_node_and_edges(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        virtual = dag.add_virtual_node(weight=5, tag="reuse")
+        dag.add_edge(0, virtual)
+        dag.add_edge(virtual, 3)
+        assert dag.nodes[virtual].is_virtual
+        assert virtual in dag.successors(0)
+
+    def test_self_loop_rejected(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        with pytest.raises(DAGError):
+            dag.add_edge(1, 1)
+
+    def test_unknown_node_rejected(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        with pytest.raises(DAGError):
+            dag.add_edge(0, 99)
+
+    def test_remove_node_cleans_edges(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        dag.remove_node(1)
+        assert 1 not in dag.successors(0)
+        assert 1 not in dag.predecessors(2)
+        assert len(dag) == 3
+
+    def test_cycle_detection(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        assert not dag.has_cycle()
+        dag.add_edge(3, 0)
+        assert dag.has_cycle()
+
+    def test_copy_is_structural(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        duplicate = dag.copy()
+        duplicate.add_edge(3, 0)
+        assert not dag.has_cycle()
+        assert duplicate.has_cycle()
+
+
+class TestConversion:
+    def test_roundtrip_preserves_semantics(self):
+        circuit = simple_circuit()
+        rebuilt = DAGCircuit.from_circuit(circuit).to_circuit()
+        assert [i.name for i in rebuilt.data] == [i.name for i in circuit.data]
+        assert rebuilt.num_qubits == circuit.num_qubits
+
+    def test_roundtrip_keeps_wire_order_dependencies(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.cx(0, 1)
+        circuit.x(1)
+        rebuilt = DAGCircuit.from_circuit(circuit).to_circuit()
+        names = [(i.name, i.qubits) for i in rebuilt.data]
+        assert names.index(("x", (0,))) < names.index(("cx", (0, 1)))
+        assert names.index(("cx", (0, 1))) < names.index(("x", (1,)))
+
+    def test_virtual_nodes_dropped_in_circuit(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        dag.add_virtual_node(weight=3)
+        rebuilt = dag.to_circuit()
+        assert len(rebuilt) == 4
+
+    def test_layers(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        circuit.h(2)
+        dag = DAGCircuit.from_circuit(circuit)
+        layer_list = list(dag.layers())
+        assert set(layer_list[0]) == {0, 1, 3}
+        assert layer_list[1] == [2]
+
+    def test_nodes_on_qubit(self):
+        dag = DAGCircuit.from_circuit(simple_circuit())
+        assert dag.nodes_on_qubit(1) == [1, 2]
+        assert dag.nodes_on_qubit(2) == [2, 3]

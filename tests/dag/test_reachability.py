@@ -1,0 +1,84 @@
+"""Tests for transitive reachability and the qubit dependency matrix."""
+
+from repro.circuit import QuantumCircuit
+from repro.dag import (
+    DAGCircuit,
+    descendants_bitsets,
+    qubit_dependency_matrix,
+    reaches,
+)
+
+
+class TestDescendants:
+    def test_chain(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.x(0)
+        circuit.h(0)
+        dag = DAGCircuit.from_circuit(circuit)
+        masks = descendants_bitsets(dag)
+        assert reaches(masks, 0, 2)
+        assert reaches(masks, 0, 1)
+        assert not reaches(masks, 2, 0)
+
+    def test_branching(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)  # n0
+        circuit.h(1)      # n1
+        circuit.h(2)      # n2 independent
+        dag = DAGCircuit.from_circuit(circuit)
+        masks = descendants_bitsets(dag)
+        assert reaches(masks, 0, 1)
+        assert not reaches(masks, 0, 2)
+        assert not reaches(masks, 2, 0)
+
+
+class TestQubitDependencyMatrix:
+    def test_paper_fig7_invalid_pair(self):
+        """Fig. 7: reusing q1 for q4 is invalid because g(q3,q1) depends on
+        g(q4,q2) transitively."""
+        circuit = QuantumCircuit(4)
+        # DAG of Fig. 7(a): g(q4,q2) -> g(q2,q3) -> g(q3,q1)
+        circuit.cx(3, 1)  # g(q4, q2): using indices q4->3, q2->1
+        circuit.cx(1, 2)  # g(q2, q3)
+        circuit.cx(2, 0)  # g(q3, q1): q1 -> 0
+        dag = DAGCircuit.from_circuit(circuit)
+        matrix = qubit_dependency_matrix(dag)
+        # gates on q4 (index 3) precede gates on q1 (index 0)
+        assert matrix[(3, 0)]
+        # so the reuse pair (q1 -> q4), i.e. (0 -> 3), violates Condition 2
+        # (q_j = 3 has gates preceding gates of q_i = 0)
+        assert matrix[(3, 0)] is True
+
+    def test_independent_qubits(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        dag = DAGCircuit.from_circuit(circuit)
+        matrix = qubit_dependency_matrix(dag)
+        assert not matrix[(0, 2)]
+        assert not matrix[(2, 0)]
+        # shared-gate qubits depend on each other both ways
+        assert matrix[(0, 1)] and matrix[(1, 0)]
+
+    def test_bv_structure(self):
+        """In BV every data qubit interacts only with the target."""
+        n = 3
+        circuit = QuantumCircuit(n + 1)
+        for q in range(n):
+            circuit.h(q)
+            circuit.cx(q, n)
+            circuit.h(q)
+        dag = DAGCircuit.from_circuit(circuit)
+        matrix = qubit_dependency_matrix(dag)
+        # CX(0,n) precedes CX(1,n) via the shared target wire
+        assert matrix[(0, 1)]
+        # but no gate on q1 precedes any gate on q0
+        assert not matrix[(1, 0)]
+
+    def test_matrix_excludes_diagonal(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        dag = DAGCircuit.from_circuit(circuit)
+        matrix = qubit_dependency_matrix(dag)
+        assert (0, 0) not in matrix

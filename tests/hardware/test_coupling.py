@@ -1,0 +1,77 @@
+"""Tests for CouplingMap."""
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import CouplingMap
+
+
+class TestConstruction:
+    def test_basic(self):
+        coupling = CouplingMap(3, [(0, 1), (1, 2)])
+        assert coupling.num_qubits == 3
+        assert coupling.edges == [(0, 1), (1, 2)]
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(HardwareError):
+            CouplingMap(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(HardwareError):
+            CouplingMap(2, [(0, 5)])
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(HardwareError):
+            CouplingMap(0, [])
+
+    def test_duplicate_edges_collapse(self):
+        coupling = CouplingMap(2, [(0, 1), (1, 0)])
+        assert coupling.edges == [(0, 1)]
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        coupling = CouplingMap(4, [(0, 1), (1, 2), (1, 3)])
+        assert coupling.neighbors(1) == {0, 2, 3}
+        assert coupling.degree(1) == 3
+        assert coupling.max_degree() == 3
+
+    def test_adjacency(self):
+        coupling = CouplingMap(3, [(0, 1)])
+        assert coupling.are_adjacent(0, 1)
+        assert not coupling.are_adjacent(0, 2)
+
+    def test_connectivity(self):
+        connected = CouplingMap(3, [(0, 1), (1, 2)])
+        disconnected = CouplingMap(3, [(0, 1)])
+        assert connected.is_connected()
+        assert not disconnected.is_connected()
+
+    def test_distance(self):
+        coupling = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        assert coupling.distance(0, 3) == 3
+        assert coupling.distance(1, 1) == 0
+
+    def test_distance_unreachable_raises(self):
+        coupling = CouplingMap(3, [(0, 1)])
+        with pytest.raises(HardwareError):
+            coupling.distance(0, 2)
+
+    def test_shortest_path_endpoints(self):
+        coupling = CouplingMap(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        path = coupling.shortest_path(1, 4)
+        assert path[0] == 1 and path[-1] == 4
+        assert len(path) == 3  # 1-0-4
+        for a, b in zip(path, path[1:]):
+            assert coupling.are_adjacent(a, b)
+
+    def test_star_feasibility_helper(self):
+        coupling = CouplingMap(4, [(0, 1), (1, 2), (1, 3)])
+        assert coupling.subgraph_has_embedding_for_star(3)
+        assert not coupling.subgraph_has_embedding_for_star(4)
+
+    def test_networkx_export(self):
+        coupling = CouplingMap(3, [(0, 1), (1, 2)])
+        graph = coupling.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2

@@ -1,0 +1,85 @@
+"""Tests for topology generators, focusing on heavy-hex properties."""
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    falcon_27,
+    full,
+    grid,
+    heavy_hex,
+    line,
+    ring,
+    scaled_heavy_hex,
+    star,
+)
+
+
+class TestSimpleTopologies:
+    def test_line(self):
+        coupling = line(5)
+        assert coupling.num_qubits == 5
+        assert len(coupling.edges) == 4
+        assert coupling.max_degree() == 2
+
+    def test_ring(self):
+        coupling = ring(6)
+        assert len(coupling.edges) == 6
+        assert all(coupling.degree(q) == 2 for q in range(6))
+
+    def test_ring_too_small(self):
+        with pytest.raises(HardwareError):
+            ring(2)
+
+    def test_grid(self):
+        coupling = grid(3, 4)
+        assert coupling.num_qubits == 12
+        assert len(coupling.edges) == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_star(self):
+        coupling = star(5)
+        assert coupling.degree(0) == 4
+        assert all(coupling.degree(q) == 1 for q in range(1, 5))
+
+    def test_full(self):
+        coupling = full(5)
+        assert len(coupling.edges) == 10
+        assert coupling.max_degree() == 4
+
+
+class TestHeavyHex:
+    def test_degree_bounded_by_three(self):
+        """The defining heavy-hex property the paper leans on (Fig. 4)."""
+        for rows, cols in [(1, 1), (2, 2), (3, 3)]:
+            coupling = heavy_hex(rows, cols)
+            assert coupling.max_degree() <= 3
+
+    def test_connected(self):
+        assert heavy_hex(2, 3).is_connected()
+
+    def test_has_degree_two_heavy_qubits(self):
+        coupling = heavy_hex(2, 2)
+        degrees = [coupling.degree(q) for q in range(coupling.num_qubits)]
+        assert 2 in degrees and 3 in degrees
+
+    def test_scaled_meets_minimum(self):
+        for minimum in [16, 40, 128]:
+            coupling = scaled_heavy_hex(minimum)
+            assert coupling.num_qubits >= minimum
+            assert coupling.max_degree() <= 3
+            assert coupling.is_connected()
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(HardwareError):
+            scaled_heavy_hex(0)
+
+
+class TestFalcon27:
+    def test_shape(self):
+        coupling = falcon_27()
+        assert coupling.num_qubits == 27
+        assert len(coupling.edges) == 28
+        assert coupling.is_connected()
+
+    def test_heavy_hex_degree_property(self):
+        assert falcon_27().max_degree() == 3

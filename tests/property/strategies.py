@@ -1,0 +1,80 @@
+"""Shared hypothesis strategies for the property-based tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+
+_ONE_QUBIT = ["x", "h", "s", "t", "sx"]
+_ROTATIONS = ["rz", "rx", "ry"]
+_TWO_QUBIT = ["cx", "cz", "rzz"]
+
+
+@st.composite
+def circuits(
+    draw,
+    min_qubits: int = 1,
+    max_qubits: int = 5,
+    max_gates: int = 20,
+    terminal_measures: bool = False,
+):
+    """A random circuit over a small number of qubits.
+
+    When *terminal_measures* is set, every qubit gets a final measurement
+    into the same-index classical bit (the shape CaQR benchmarks have).
+    """
+    num_qubits = draw(st.integers(min_qubits, max_qubits))
+    num_gates = draw(st.integers(0, max_gates))
+    circuit = QuantumCircuit(
+        num_qubits, num_qubits if terminal_measures else 0, name="hyp"
+    )
+    for _ in range(num_gates):
+        if num_qubits >= 2 and draw(st.booleans()):
+            name = draw(st.sampled_from(_TWO_QUBIT))
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            if name == "rzz":
+                circuit.rzz(draw(st.floats(0.01, 3.0)), a, b)
+            else:
+                getattr(circuit, name)(a, b)
+        else:
+            q = draw(st.integers(0, num_qubits - 1))
+            if draw(st.booleans()):
+                circuit.rz(draw(st.floats(0.01, 3.0)), q)
+            else:
+                getattr(circuit, draw(st.sampled_from(_ONE_QUBIT)))(q)
+    if terminal_measures:
+        for q in range(num_qubits):
+            circuit.measure(q, q)
+    return circuit
+
+
+@st.composite
+def problem_graphs(draw, min_nodes: int = 3, max_nodes: int = 10):
+    """A random simple graph with vertices 0..n-1 and >= 1 edge."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    possible = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=len(possible), unique=True)
+    )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return graph
+
+
+@st.composite
+def connected_couplings(draw, min_qubits: int = 2, max_qubits: int = 8):
+    """A connected coupling map (random spanning tree + extra edges)."""
+    from repro.hardware import CouplingMap
+
+    n = draw(st.integers(min_qubits, max_qubits))
+    edges = {(i, draw(st.integers(0, i - 1))) for i in range(1, n)}
+    possible = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    extra = draw(st.lists(st.sampled_from(possible), max_size=6, unique=True))
+    edges.update(extra)
+    return CouplingMap(n, [tuple(sorted(e)) for e in edges])

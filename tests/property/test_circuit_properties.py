@@ -1,0 +1,68 @@
+"""Property-based tests over the circuit IR and QASM roundtrip."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import parse_qasm, to_qasm
+from tests.property.strategies import circuits
+
+
+class TestCircuitInvariants:
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_depth_bounded_by_size(self, circuit):
+        assert 0 <= circuit.depth() <= circuit.size()
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_count_ops_sums_to_length(self, circuit):
+        assert sum(circuit.count_ops().values()) == len(circuit)
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_two_qubit_count_bounded(self, circuit):
+        assert circuit.two_qubit_gate_count() <= circuit.size()
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, circuit):
+        assert circuit.copy() == circuit
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_compacted_preserves_gate_sequence(self, circuit):
+        compact = circuit.compacted()
+        assert [i.name for i in compact.data] == [i.name for i in circuit.data]
+        assert compact.num_qubits == circuit.num_used_qubits()
+        assert compact.depth() == circuit.depth()
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_interaction_graph_edges_bounded(self, circuit):
+        graph = circuit.interaction_graph()
+        assert graph.number_of_edges() <= circuit.two_qubit_gate_count()
+
+    @given(circuits(terminal_measures=True))
+    @settings(max_examples=40, deadline=None)
+    def test_duration_at_least_depth_scaled(self, circuit):
+        # every non-virtual instruction takes positive time
+        assert circuit.duration_dt() >= 0
+        if circuit.count_ops().get("measure"):
+            assert circuit.duration_dt() >= 15908
+
+
+class TestQasmRoundtrip:
+    @given(circuits(terminal_measures=True))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_structure(self, circuit):
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert [i.name for i in parsed.data] == [i.name for i in circuit.data]
+        assert [i.qubits for i in parsed.data] == [i.qubits for i in circuit.data]
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_params(self, circuit):
+        parsed = parse_qasm(to_qasm(circuit))
+        for a, b in zip(parsed.data, circuit.data):
+            assert a.params == pytest.approx(b.params)

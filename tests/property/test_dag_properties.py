@@ -1,0 +1,78 @@
+"""Property-based tests over the DAG layer."""
+
+from hypothesis import given, settings
+
+from repro.dag import (
+    DAGCircuit,
+    critical_path_length,
+    dag_depth,
+    descendants_bitsets,
+    qubit_dependency_matrix,
+    slack,
+)
+from tests.property.strategies import circuits
+
+
+class TestDAGInvariants:
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_respects_edges(self, circuit):
+        dag = DAGCircuit.from_circuit(circuit)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in dag.nodes:
+            for successor in dag.successors(node):
+                assert position[node] < position[successor]
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_dag_depth_equals_circuit_depth(self, circuit):
+        dag = DAGCircuit.from_circuit(circuit)
+        assert dag_depth(dag) == circuit.depth()
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_counts(self, circuit):
+        rebuilt = DAGCircuit.from_circuit(circuit).to_circuit()
+        assert rebuilt.count_ops() == circuit.count_ops()
+        assert rebuilt.depth() == circuit.depth()
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_slack_nonnegative_and_zero_somewhere(self, circuit):
+        dag = DAGCircuit.from_circuit(circuit)
+        if not len(dag):
+            return
+        slacks = slack(dag)
+        assert all(value >= 0 for value in slacks.values())
+        if critical_path_length(dag) > 0:
+            assert 0 in slacks.values()
+
+    @given(circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_reachability_transitive(self, circuit):
+        dag = DAGCircuit.from_circuit(circuit)
+        masks = descendants_bitsets(dag)
+        for node in dag.nodes:
+            for successor in dag.successors(node):
+                # descendants of successor are descendants of node
+                assert masks[successor] & ~masks[node] == 0 or (
+                    masks[successor] | (1 << successor)
+                ) & ~masks[node] == 0
+
+    @given(circuits(min_qubits=2))
+    @settings(max_examples=30, deadline=None)
+    def test_dependency_matrix_antisymmetric_without_shared_gates(self, circuit):
+        """If a->b and b->a both hold, the qubits must share a gate or a
+        connecting path both ways (possible); but a qubit pair with no
+        gates at all must be independent."""
+        dag = DAGCircuit.from_circuit(circuit)
+        matrix = qubit_dependency_matrix(dag)
+        used = set()
+        for instruction in circuit.data:
+            used.update(instruction.qubits)
+        for a in range(circuit.num_qubits):
+            if a not in used:
+                for b in used:
+                    assert not matrix.get((a, b), False)
+                    assert not matrix.get((b, a), False)

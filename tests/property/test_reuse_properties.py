@@ -1,0 +1,129 @@
+"""Property-based tests for the CaQR reuse core."""
+
+from hypothesis import assume, given, settings
+
+from repro.core import (
+    QSCaQR,
+    ReuseAnalysis,
+    apply_reuse_pair,
+    lifetime_minimum_qubits,
+    lifetime_schedule,
+    minimum_qubits_by_coloring,
+    schedule_commuting,
+)
+from repro.dag import DAGCircuit
+from tests.property.strategies import circuits, problem_graphs
+
+
+class TestConditionsProperties:
+    @given(circuits(min_qubits=2, terminal_measures=True))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_pairs_never_share_gates(self, circuit):
+        analysis = ReuseAnalysis(circuit)
+        interaction = circuit.interaction_graph()
+        for pair in analysis.valid_pairs():
+            assert not interaction.has_edge(pair.source, pair.target)
+
+    @given(circuits(min_qubits=2, terminal_measures=True))
+    @settings(max_examples=30, deadline=None)
+    def test_applying_valid_pair_never_creates_cycle(self, circuit):
+        analysis = ReuseAnalysis(circuit)
+        pairs = analysis.valid_pairs()
+        assume(pairs)
+        for pair in pairs[:3]:
+            result = apply_reuse_pair(circuit, pair, validate=False)
+            assert not DAGCircuit.from_circuit(result.circuit).has_cycle()
+
+    @given(circuits(min_qubits=2, terminal_measures=True))
+    @settings(max_examples=30, deadline=None)
+    def test_transform_shrinks_width_and_keeps_gates(self, circuit):
+        pairs = ReuseAnalysis(circuit).valid_pairs()
+        assume(pairs)
+        pair = pairs[0]
+        result = apply_reuse_pair(circuit, pair)
+        assert result.circuit.num_qubits == circuit.num_qubits - 1
+        before = circuit.count_ops()
+        after = result.circuit.count_ops()
+        for name in before:
+            if name not in ("measure", "x"):
+                assert after[name] == before[name]
+        # exactly one conditional X (or one more measure) was inserted
+        assert after["x"] >= before.get("x", 0)
+
+
+class TestQSCaQRProperties:
+    @given(circuits(min_qubits=2, max_qubits=4, max_gates=12, terminal_measures=True))
+    @settings(max_examples=20, deadline=None)
+    def test_sweep_qubit_counts_strictly_decrease(self, circuit):
+        points = QSCaQR().sweep(circuit)
+        qubit_counts = [p.qubits for p in points]
+        assert qubit_counts[0] == circuit.num_qubits
+        assert all(b == a - 1 for a, b in zip(qubit_counts, qubit_counts[1:]))
+
+    @given(circuits(min_qubits=2, max_qubits=4, max_gates=12, terminal_measures=True))
+    @settings(max_examples=20, deadline=None)
+    def test_reduce_to_feasible_hits_budget_exactly(self, circuit):
+        floor = QSCaQR().minimum_qubits(circuit)
+        result = QSCaQR().reduce_to(circuit, floor)
+        assert result.feasible
+        assert result.qubits == floor
+
+
+class TestCommutingProperties:
+    @given(problem_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_coloring_bound_at_most_width(self, graph):
+        bound = minimum_qubits_by_coloring(graph)
+        assert 1 <= bound <= graph.number_of_nodes()
+
+    @given(problem_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_covers_all_gates_exactly_once(self, graph):
+        schedule = schedule_commuting(graph, [])
+        scheduled = [gate for layer in schedule.layers for gate in layer]
+        assert sorted(scheduled) == sorted(
+            tuple(sorted(edge)) for edge in graph.edges
+        )
+
+    @given(problem_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_layers_are_matchings(self, graph):
+        schedule = schedule_commuting(graph, [])
+        for layer in schedule.layers:
+            qubits = [q for gate in layer for q in gate]
+            assert len(qubits) == len(set(qubits))
+
+
+class TestLifetimeProperties:
+    @given(problem_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_floor_schedule_feasible_and_consistent(self, graph):
+        floor = lifetime_minimum_qubits(graph)
+        pairs, schedule = lifetime_schedule(graph, floor)
+        n = graph.number_of_nodes()
+        assert len(pairs) >= n - floor
+        scheduled = [gate for layer in schedule.layers for gate in layer]
+        assert sorted(scheduled) == sorted(
+            tuple(sorted(edge)) for edge in graph.edges
+        )
+
+    @given(problem_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_pairs_have_distinct_roles(self, graph):
+        floor = lifetime_minimum_qubits(graph)
+        pairs, _ = lifetime_schedule(graph, floor)
+        sources = [pair.source for pair in pairs]
+        targets = [pair.target for pair in pairs]
+        assert len(set(sources)) == len(sources)
+        assert len(set(targets)) == len(targets)
+
+    @given(problem_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_measure_fires_before_target_gate_layers(self, graph):
+        floor = lifetime_minimum_qubits(graph)
+        pairs, schedule = lifetime_schedule(graph, floor)
+        for pair in pairs:
+            fire = schedule.measure_after_layer[pair]
+            for index, layer in enumerate(schedule.layers):
+                if any(pair.target in gate for gate in layer):
+                    assert index > fire

@@ -1,0 +1,94 @@
+"""Property-based tests for routing, optimisation, and scheduling."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+
+from repro.sim import final_statevector
+from repro.transpiler import (
+    cancel_adjacent_self_inverse,
+    merge_single_qubit_runs,
+    sabre_route,
+    schedule_asap,
+)
+from tests.property.strategies import circuits, connected_couplings
+
+
+def _states_equal_up_to_phase(a, b, atol=1e-8):
+    index = int(np.argmax(np.abs(b)))
+    if abs(b[index]) < atol:
+        return np.allclose(a, b, atol=atol)
+    phase = a[index] / b[index]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestRoutingProperties:
+    @given(circuits(max_qubits=4, max_gates=12), connected_couplings(4, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_routed_circuit_is_hardware_compliant(self, circuit, coupling):
+        assume(circuit.num_qubits <= coupling.num_qubits)
+        result = sabre_route(circuit, coupling, seed=3)
+        for instruction in result.circuit.data:
+            if len(instruction.qubits) == 2 and not instruction.is_directive():
+                assert coupling.are_adjacent(*instruction.qubits)
+
+    @given(circuits(max_qubits=4, max_gates=12), connected_couplings(4, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_routing_preserves_gate_counts(self, circuit, coupling):
+        assume(circuit.num_qubits <= coupling.num_qubits)
+        result = sabre_route(circuit, coupling, seed=3)
+        before = circuit.count_ops()
+        after = result.circuit.count_ops()
+        for name, count in before.items():
+            if name != "swap":
+                assert after[name] == count
+
+    @given(circuits(max_qubits=4, max_gates=12), connected_couplings(4, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_final_layout_is_permutation(self, circuit, coupling):
+        assume(circuit.num_qubits <= coupling.num_qubits)
+        result = sabre_route(circuit, coupling, seed=3)
+        mapped = result.final_layout.as_dict()
+        assert sorted(mapped.keys()) == list(range(circuit.num_qubits))
+        assert len(set(mapped.values())) == circuit.num_qubits
+
+
+class TestOptimizationProperties:
+    @given(circuits(max_qubits=3, max_gates=12))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_1q_preserves_state(self, circuit):
+        merged = merge_single_qubit_runs(circuit)
+        assert _states_equal_up_to_phase(
+            final_statevector(merged), final_statevector(circuit)
+        )
+
+    @given(circuits(max_qubits=3, max_gates=12))
+    @settings(max_examples=25, deadline=None)
+    def test_cancellation_preserves_state(self, circuit):
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert len(cancelled) <= len(circuit)
+        assert _states_equal_up_to_phase(
+            final_statevector(cancelled), final_statevector(circuit)
+        )
+
+
+class TestSchedulingProperties:
+    @given(circuits(terminal_measures=True))
+    @settings(max_examples=40, deadline=None)
+    def test_entries_never_overlap_on_a_wire(self, circuit):
+        schedule = schedule_asap(circuit)
+        for qubit in range(circuit.num_qubits):
+            windows = sorted(
+                (entry.start, entry.finish)
+                for entry in schedule.entries
+                if qubit in entry.instruction.qubits
+            )
+            for (s1, f1), (s2, _f2) in zip(windows, windows[1:]):
+                assert s2 >= f1
+
+    @given(circuits(terminal_measures=True))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, circuit):
+        schedule = schedule_asap(circuit)
+        longest = max((e.duration for e in schedule.entries), default=0)
+        total = sum(e.duration for e in schedule.entries)
+        assert longest <= schedule.makespan <= total

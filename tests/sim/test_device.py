@@ -1,0 +1,73 @@
+"""Tests for physical-circuit simulation (compaction + noise remapping)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.hardware import generic_backend, ibm_mumbai, line
+from repro.sim import (
+    NoiseModel,
+    compacted_with_noise,
+    run_physical_counts,
+)
+from repro.transpiler import transpile
+from repro.workloads import bv_circuit
+
+
+class TestNoiseRemap:
+    def test_remap_moves_link_errors(self):
+        backend = generic_backend(line(4), seed=3)
+        noise = NoiseModel.from_backend(backend)
+        remapped = noise.remapped({1: 0, 2: 1})
+        assert remapped.two_qubit_error[frozenset((0, 1))] == \
+            noise.two_qubit_error[frozenset((1, 2))]
+
+    def test_remap_drops_absent_qubits(self):
+        backend = generic_backend(line(4), seed=3)
+        noise = NoiseModel.from_backend(backend)
+        remapped = noise.remapped({0: 0})
+        assert remapped.two_qubit_error == {}
+        assert list(remapped.readout) == [0]
+
+    def test_remap_preserves_defaults(self):
+        noise = NoiseModel.uniform(two_qubit_error=0.05, readout=0.1)
+        remapped = noise.remapped({3: 0})
+        assert remapped.default_two_qubit_error == 0.05
+        assert remapped.default_readout == 0.1
+
+
+class TestRunPhysicalCounts:
+    def test_compacted_simulation_matches_semantics(self):
+        backend = ibm_mumbai()
+        circuit = bv_circuit(5)
+        compiled = transpile(circuit, backend, optimization_level=1, seed=2)
+        counts = run_physical_counts(
+            compiled.circuit, backend, shots=100, seed=4,
+            noise=NoiseModel.ideal(),
+        )
+        projected = {}
+        for key, value in counts.items():
+            projected[key[:4]] = projected.get(key[:4], 0) + value
+        assert projected == {"1111": 100}
+
+    def test_noise_actually_applied(self):
+        backend = ibm_mumbai()
+        circuit = bv_circuit(5)
+        compiled = transpile(circuit, backend, optimization_level=1, seed=2)
+        counts = run_physical_counts(
+            compiled.circuit, backend, shots=800, seed=4, relaxation=False
+        )
+        assert len(counts) > 1  # errors spread the distribution
+
+    def test_compacted_with_noise_pairs_up(self):
+        backend = ibm_mumbai()
+        circuit = QuantumCircuit(backend.num_qubits, 2)
+        circuit.h(10)
+        circuit.cx(10, 12)
+        circuit.measure(10, 0)
+        circuit.measure(12, 1)
+        compact, noise = compacted_with_noise(circuit, backend)
+        assert compact.num_qubits == 2
+        # the (10, 12) link error moved to (0, 1)
+        assert frozenset((0, 1)) in noise.two_qubit_error
+        assert noise.two_qubit_error[frozenset((0, 1))] == \
+            backend.calibration.get_cx_error(10, 12)

@@ -1,0 +1,86 @@
+"""Tests for tensored readout mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.sim import NoiseModel, run_counts
+from repro.sim.mitigation import confusion_matrix, inverse_confusion, mitigate_counts
+
+
+class TestMatrices:
+    def test_confusion_columns_sum_to_one(self):
+        matrix = confusion_matrix(0.1)
+        assert np.allclose(matrix.sum(axis=0), [1.0, 1.0])
+
+    def test_inverse_is_inverse(self):
+        for e in (0.0, 0.05, 0.2):
+            product = inverse_confusion(e) @ confusion_matrix(e)
+            assert np.allclose(product, np.eye(2), atol=1e-12)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            confusion_matrix(0.5)
+        with pytest.raises(SimulationError):
+            confusion_matrix(-0.1)
+
+
+class TestMitigateCounts:
+    def _apply_noise_exactly(self, distribution, flips):
+        """Forward-apply per-bit confusion to an exact distribution."""
+        out = dict(distribution)
+        for bit, e in enumerate(flips):
+            updated = {}
+            for key, p in out.items():
+                for recorded in (0, 1):
+                    weight = 1 - e if recorded == int(key[bit]) else e
+                    new_key = key[:bit] + str(recorded) + key[bit + 1 :]
+                    updated[new_key] = updated.get(new_key, 0.0) + weight * p
+            out = updated
+        return out
+
+    def test_exact_inversion(self):
+        ideal = {"00": 0.7, "11": 0.3}
+        flips = [0.08, 0.12]
+        noisy = self._apply_noise_exactly(ideal, flips)
+        scaled = {k: round(v * 1_000_000) for k, v in noisy.items()}
+        recovered = mitigate_counts(scaled, flips)
+        for key, p in ideal.items():
+            assert recovered.get(key, 0.0) == pytest.approx(p, abs=1e-4)
+
+    def test_zero_error_is_identity(self):
+        counts = {"01": 60, "10": 40}
+        recovered = mitigate_counts(counts, [0.0, 0.0])
+        assert recovered["01"] == pytest.approx(0.6)
+        assert recovered["10"] == pytest.approx(0.4)
+
+    def test_sampled_counts_improve(self):
+        """Mitigating simulated readout noise recovers the clean answer."""
+        circuit = QuantumCircuit(2, 2)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        noise = NoiseModel.uniform(readout=0.15)
+        counts = run_counts(circuit, shots=20000, seed=3, noise=noise)
+        raw_mass = counts.get("10", 0) / 20000
+        mitigated = mitigate_counts(counts, [0.15, 0.15])
+        assert mitigated.get("10", 0.0) > raw_mass
+        assert mitigated.get("10", 0.0) == pytest.approx(1.0, abs=0.02)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            mitigate_counts({"00": 10}, [0.1])
+
+    def test_inconsistent_keys_rejected(self):
+        with pytest.raises(SimulationError):
+            mitigate_counts({"00": 10, "000": 5}, [0.1, 0.1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            mitigate_counts({}, [])
+
+    def test_output_normalised(self):
+        counts = {"0": 55, "1": 45}
+        result = mitigate_counts(counts, [0.2])
+        assert sum(result.values()) == pytest.approx(1.0)

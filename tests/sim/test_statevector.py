@@ -1,0 +1,223 @@
+"""Tests for the statevector simulator, including dynamic-circuit ops."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.sim import NoiseModel, Statevector, final_statevector, run_counts
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        state = Statevector(2)
+        assert state.amplitudes[0] == 1.0
+        assert np.allclose(state.probabilities().sum(), 1.0)
+
+    def test_apply_x(self):
+        state = Statevector(2)
+        from repro.circuit.gates import gate_matrix
+
+        state.apply_matrix(gate_matrix("x"), (0,))
+        # qubit 0 is the most significant bit: |10> = index 2
+        assert abs(state.amplitudes[2]) == pytest.approx(1.0)
+
+    def test_apply_cx_entangles(self):
+        from repro.circuit.gates import gate_matrix
+
+        state = Statevector(2)
+        state.apply_matrix(gate_matrix("h"), (0,))
+        state.apply_matrix(gate_matrix("cx"), (0, 1))
+        probabilities = state.probabilities()
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[3] == pytest.approx(0.5)
+
+    def test_probability_of_one(self):
+        from repro.circuit.gates import gate_matrix
+
+        state = Statevector(1)
+        state.apply_matrix(gate_matrix("h"), (0,))
+        assert state.probability_of_one(0) == pytest.approx(0.5)
+
+    def test_collapse_normalizes(self):
+        from repro.circuit.gates import gate_matrix
+
+        state = Statevector(1)
+        state.apply_matrix(gate_matrix("h"), (0,))
+        state.collapse(0, 1)
+        assert state.probability_of_one(0) == pytest.approx(1.0)
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(SimulationError):
+            Statevector(30)
+
+
+class TestRunCounts:
+    def test_deterministic_x(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        counts = run_counts(circuit, shots=100, seed=1)
+        assert counts == {"1": 100}
+
+    def test_bell_statistics(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        counts = run_counts(circuit, shots=4000, seed=2)
+        assert set(counts) == {"00", "11"}
+        assert abs(counts["00"] - 2000) < 200
+
+    def test_key_ordering_clbit0_leftmost(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.x(1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        counts = run_counts(circuit, shots=10, seed=3)
+        assert counts == {"01": 10}
+
+    def test_mid_circuit_measure_and_conditional(self):
+        """Teleport-style feed-forward: X conditioned on a measured 1."""
+        circuit = QuantumCircuit(2, 2)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        circuit.x(1).c_if(0, 1)  # fires because q0 measured 1
+        circuit.measure(1, 1)
+        counts = run_counts(circuit, shots=50, seed=4)
+        assert counts == {"11": 50}
+
+    def test_conditional_does_not_fire_on_zero(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.measure(0, 0)
+        circuit.x(1).c_if(0, 1)
+        circuit.measure(1, 1)
+        counts = run_counts(circuit, shots=50, seed=5)
+        assert counts == {"00": 50}
+
+    def test_measure_and_reset_reuse_wire(self):
+        """The paper's reuse primitive: one wire, two logical qubits."""
+        circuit = QuantumCircuit(1, 2)
+        circuit.x(0)                      # first logical qubit -> |1>
+        circuit.measure_and_reset(0, 0)   # read 1, reset wire
+        circuit.measure(0, 1)             # second logical qubit must read 0
+        counts = run_counts(circuit, shots=100, seed=6)
+        assert counts == {"10": 100}
+
+    def test_builtin_reset_equivalent(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.h(0)
+        circuit.measure_and_reset(0, 0, style="builtin")
+        circuit.measure(0, 1)
+        counts = run_counts(circuit, shots=200, seed=7)
+        # second measurement always reads 0 regardless of the first
+        assert all(key[1] == "0" for key in counts)
+
+    def test_shots_must_be_positive(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(SimulationError):
+            run_counts(circuit, shots=0)
+
+    def test_requires_clbits(self):
+        circuit = QuantumCircuit(1, 0)
+        with pytest.raises(SimulationError):
+            run_counts(circuit, shots=10)
+
+    def test_fast_path_matches_trajectory_path(self):
+        """GHZ counts via the fast path equal trajectory-path counts."""
+        fast = QuantumCircuit(3, 3)
+        fast.h(0)
+        fast.cx(0, 1)
+        fast.cx(1, 2)
+        fast.measure(0, 0)
+        fast.measure(1, 1)
+        fast.measure(2, 2)
+        slow = fast.copy()
+        slow.reset(2)  # force the trajectory path (after measuring)
+        # remove the reset's effect by measuring before it: rebuild properly
+        slow = QuantumCircuit(3, 3)
+        slow.h(0)
+        slow.cx(0, 1)
+        slow.cx(1, 2)
+        slow.measure(0, 0)
+        slow.measure(1, 1)
+        slow.measure(2, 2)
+        slow.reset(0)
+        counts_fast = run_counts(fast, shots=3000, seed=8)
+        counts_slow = run_counts(slow, shots=3000, seed=8)
+        assert set(counts_fast) == {"000", "111"}
+        assert set(counts_slow) == {"000", "111"}
+        assert abs(counts_fast["000"] - counts_slow["000"]) < 200
+
+
+class TestFinalStatevector:
+    def test_ghz_amplitudes(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        state = final_statevector(circuit)
+        assert abs(state[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(state[3]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_reset_forces_ground(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.reset(0)
+        state = final_statevector(circuit, seed=0)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+
+class TestNoisySimulation:
+    def test_readout_error_flips_results(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        noise = NoiseModel.uniform(readout=0.3)
+        counts = run_counts(circuit, shots=2000, seed=9, noise=noise)
+        assert 0.2 < counts.get("1", 0) / 2000 < 0.4
+
+    def test_two_qubit_depolarizing_degrades_bell(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        noise = NoiseModel.uniform(two_qubit_error=0.5, readout=0.0)
+        counts = run_counts(circuit, shots=2000, seed=10, noise=noise)
+        bad_mass = (counts.get("01", 0) + counts.get("10", 0)) / 2000
+        assert bad_mass > 0.1
+
+    def test_ideal_noise_model_is_noiseless(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        counts = run_counts(circuit, shots=500, seed=11, noise=NoiseModel.ideal())
+        assert counts == {"1": 500}
+
+    def test_relaxation_decays_excited_state(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0)
+        circuit.delay(200000, 0)  # long idle period
+        circuit.measure(0, 0)
+        noise = NoiseModel(relaxation_enabled=True, t1={0: 50000.0}, t2={0: 50000.0})
+        counts = run_counts(circuit, shots=1000, seed=12, noise=noise)
+        # after 4 T1 most population has decayed to |0>
+        assert counts.get("0", 0) > 800
+
+    def test_more_noise_means_worse(self):
+        """Noise monotonicity sanity: higher CX error -> lower success."""
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+
+        def good_mass(error):
+            noise = NoiseModel.uniform(two_qubit_error=error)
+            counts = run_counts(circuit, shots=2000, seed=13, noise=noise)
+            return (counts.get("00", 0) + counts.get("11", 0)) / 2000
+
+        assert good_mass(0.3) < good_mass(0.01)

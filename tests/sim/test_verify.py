@@ -1,0 +1,67 @@
+"""Tests for the equivalence-verification helpers."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import QSCaQR
+from repro.exceptions import SimulationError
+from repro.sim.verify import assert_equivalent, distributions_tvd, marginal_counts
+from repro.workloads import bv_circuit
+
+
+class TestMarginalCounts:
+    def test_projection_merges(self):
+        counts = {"000": 10, "001": 5, "100": 3}
+        assert marginal_counts(counts, 2) == {"00": 15, "10": 3}
+
+    def test_full_width_identity(self):
+        counts = {"01": 7}
+        assert marginal_counts(counts, 2) == counts
+
+    def test_bad_width(self):
+        with pytest.raises(SimulationError):
+            marginal_counts({"0": 1}, 0)
+
+
+class TestDistributionsTVD:
+    def test_identical_circuits(self):
+        a = bv_circuit(4)
+        assert distributions_tvd(a, a.copy()) == pytest.approx(0.0)
+
+    def test_reused_circuit_matches_original(self):
+        original = bv_circuit(5)
+        reused = QSCaQR().reduce_to(original, 2).circuit
+        assert distributions_tvd(original, reused, shots=500) < 0.01
+
+    def test_different_circuits_far_apart(self):
+        a = QuantumCircuit(1, 1)
+        a.measure(0, 0)
+        b = QuantumCircuit(1, 1)
+        b.x(0)
+        b.measure(0, 0)
+        assert distributions_tvd(a, b, shots=200) == pytest.approx(1.0)
+
+    def test_default_width_uses_smaller_clbit_count(self):
+        wide = QuantumCircuit(1, 3)
+        wide.x(0)
+        wide.measure(0, 0)
+        narrow = QuantumCircuit(1, 1)
+        narrow.x(0)
+        narrow.measure(0, 0)
+        assert distributions_tvd(wide, narrow, shots=100) == pytest.approx(0.0)
+
+
+class TestAssertEquivalent:
+    def test_passes_on_equivalent(self):
+        original = bv_circuit(4)
+        reused = QSCaQR().reduce_to(original, 2).circuit
+        assert_equivalent(original, reused, shots=400)
+
+    def test_raises_on_different(self):
+        a = QuantumCircuit(1, 1)
+        a.measure(0, 0)
+        b = QuantumCircuit(1, 1)
+        b.x(0)
+        b.measure(0, 0)
+        with pytest.raises(SimulationError):
+            assert_equivalent(a, b, shots=200)

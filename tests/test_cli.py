@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.circuit import parse_qasm, to_qasm
+from repro.workloads import bv_circuit
+
+
+@pytest.fixture
+def bv_qasm(tmp_path):
+    path = tmp_path / "bv.qasm"
+    path.write_text(to_qasm(bv_circuit(5)))
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_compile_from_qasm_file(self, bv_qasm, capsys):
+        assert main(["compile", bv_qasm, "--mode", "max_reuse"]) == 0
+        out = capsys.readouterr().out
+        assert "qubits used" in out
+        assert "60%" in out  # BV_5 compresses 5 -> 2
+
+    def test_compile_benchmark_name(self, capsys):
+        assert main(["compile", "xor_5", "--mode", "max_reuse"]) == 0
+        assert "reuse resets" in capsys.readouterr().out
+
+    def test_compile_writes_output(self, bv_qasm, tmp_path, capsys):
+        output = str(tmp_path / "out.qasm")
+        assert main([
+            "compile", bv_qasm, "--mode", "max_reuse", "--output", output
+        ]) == 0
+        compiled = parse_qasm(open(output).read())
+        assert compiled.num_qubits == 2
+
+    def test_compile_draw(self, capsys):
+        assert main(["compile", "bv_5", "--mode", "max_reuse", "--draw"]) == 0
+        assert "q0:" in capsys.readouterr().out
+
+    def test_min_swap_needs_backend(self, capsys):
+        assert main(["compile", "bv_5", "--mode", "min_swap"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_min_swap_with_mumbai(self, capsys):
+        assert main([
+            "compile", "bv_5", "--mode", "min_swap", "--backend", "mumbai"
+        ]) == 0
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["compile", "missing.qasm"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "bv_5"]) == 0
+        out = capsys.readouterr().out
+        assert "tradeoff sweep" in out
+        assert "reuse beneficial: True" in out
+
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "bv_10" in out
+        assert "qaoa" in out
+
+    def test_backend_json_roundtrip(self, tmp_path, capsys):
+        from repro.hardware import backend_to_json, ibm_mumbai
+
+        path = tmp_path / "backend.json"
+        path.write_text(backend_to_json(ibm_mumbai()))
+        assert main([
+            "compile", "xor_5", "--mode", "min_swap", "--backend", str(path)
+        ]) == 0

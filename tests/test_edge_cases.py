@@ -1,0 +1,150 @@
+"""Edge-case coverage across subsystems: empty, single-qubit, idle-wire,
+and degenerate inputs."""
+
+import networkx as nx
+import pytest
+
+from repro.circuit import QuantumCircuit, parse_qasm, to_qasm
+from repro.core import (
+    QSCaQR,
+    QSCaQRCommuting,
+    SRCaQR,
+    lifetime_schedule,
+    valid_reuse_pairs,
+)
+from repro.dag import DAGCircuit, dag_depth
+from repro.hardware import generic_backend, line
+from repro.sim import run_counts
+from repro.transpiler import optimize_circuit, schedule_asap, transpile
+
+
+class TestEmptyCircuits:
+    def test_empty_circuit_everything(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.depth() == 0
+        assert circuit.duration_dt() == 0
+        assert circuit.num_used_qubits() == 0
+        assert dag_depth(DAGCircuit.from_circuit(circuit)) == 0
+        assert schedule_asap(circuit).makespan == 0
+
+    def test_empty_circuit_transpiles(self):
+        backend = generic_backend(line(3), seed=1)
+        result = transpile(QuantumCircuit(2), backend)
+        assert result.swap_count == 0
+        assert result.depth == 0
+
+    def test_empty_circuit_qasm_roundtrip(self):
+        circuit = QuantumCircuit(2, 1)
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == 2
+        assert len(parsed) == 0
+
+    def test_empty_circuit_has_no_reuse_pairs(self):
+        assert valid_reuse_pairs(QuantumCircuit(4)) == []
+
+    def test_optimize_empty(self):
+        assert len(optimize_circuit(QuantumCircuit(2))) == 0
+
+
+class TestSingleQubit:
+    def test_single_qubit_pipeline(self):
+        backend = generic_backend(line(2), seed=2)
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        result = transpile(circuit, backend)
+        counts = run_counts(result.circuit.compacted(), shots=1000, seed=3)
+        assert abs(counts.get("0", 0) - 500) < 100
+
+    def test_single_qubit_sr(self):
+        backend = generic_backend(line(2), seed=2)
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        result = SRCaQR(backend).run(circuit)
+        assert result.swap_count == 0
+        assert result.qubits_used == 1
+
+
+class TestIdleWires:
+    def test_idle_wires_not_reuse_candidates(self):
+        circuit = QuantumCircuit(5, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        pairs = valid_reuse_pairs(circuit)
+        touched = {0, 1}
+        for pair in pairs:
+            assert pair.source in touched and pair.target in touched
+
+    def test_qs_sweep_with_idle_wires(self):
+        circuit = QuantumCircuit(4, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        points = QSCaQR().sweep(circuit)
+        # nothing to merge: single point
+        assert len(points) == 1
+
+    def test_compacted_empty_circuit(self):
+        compact = QuantumCircuit(5).compacted()
+        assert compact.num_qubits == 0
+
+
+class TestDegenerateGraphs:
+    def test_edgeless_graph_commuting(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        compiler = QSCaQRCommuting(graph)
+        point = compiler.reduce_to(1)
+        assert point.feasible
+        assert point.qubits == 1
+
+    def test_edgeless_lifetime(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        pairs, schedule = lifetime_schedule(graph, 1)
+        assert len(pairs) == 3
+        assert schedule.layers == []
+
+    def test_single_edge_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(2))
+        graph.add_edge(0, 1)
+        point = QSCaQRCommuting(graph).reduce_to(2)
+        assert point.feasible
+        counts = run_counts(point.circuit, shots=100, seed=4)
+        assert sum(counts.values()) == 100
+
+    def test_self_contained_two_node_qaoa(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)  # vertex 2 isolated
+        sweep = QSCaQRCommuting(graph).sweep()
+        assert sweep[-1].qubits <= 2
+
+
+class TestConditionalEdgeCases:
+    def test_conditional_on_never_written_bit(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).c_if(0, 1)  # c0 is always 0: gate never fires
+        circuit.measure(0, 0)
+        counts = run_counts(circuit, shots=50, seed=5)
+        assert counts == {"0": 50}
+
+    def test_conditional_value_zero(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).c_if(0, 0)  # fires because c0 == 0
+        circuit.measure(0, 0)
+        counts = run_counts(circuit, shots=50, seed=6)
+        assert counts == {"1": 50}
+
+    def test_double_reuse_same_wire_simulates(self):
+        circuit = QuantumCircuit(1, 3)
+        circuit.x(0)
+        circuit.measure_and_reset(0, 0)
+        circuit.x(0)
+        circuit.measure_and_reset(0, 1)
+        circuit.measure(0, 2)
+        counts = run_counts(circuit, shots=50, seed=7)
+        assert counts == {"110": 50}

@@ -1,0 +1,86 @@
+"""Small cross-cutting tests: exception hierarchy, registry edges, repr."""
+
+import pytest
+
+from repro import CompileReport, QuantumCircuit, caqr_compile, __version__
+from repro.exceptions import (
+    CircuitError,
+    DAGError,
+    HardwareError,
+    QasmError,
+    ReproError,
+    ReuseError,
+    SimulationError,
+    TranspilerError,
+    WorkloadError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CircuitError,
+            QasmError,
+            DAGError,
+            HardwareError,
+            TranspilerError,
+            SimulationError,
+            ReuseError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_qasm_error_is_circuit_error(self):
+        assert issubclass(QasmError, CircuitError)
+
+    def test_catching_base_catches_subsystems(self):
+        with pytest.raises(ReproError):
+            raise ReuseError("x")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        report = caqr_compile(_bv(), mode="max_reuse")
+        assert isinstance(report, CompileReport)
+
+    def test_circuit_repr_and_str(self):
+        circuit = QuantumCircuit(2, 1, name="demo")
+        circuit.h(0)
+        assert "demo" in repr(circuit)
+        assert "h" in str(circuit)
+
+    def test_instruction_str(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        circuit.x(1).c_if(0, 1)
+        assert "measure q0 -> c0" in str(circuit.data[0])
+        assert "if c0==1" in str(circuit.data[1])
+
+
+class TestRegistryEdges:
+    def test_qaoa_name_variants(self):
+        from repro.exceptions import WorkloadError
+        from repro.workloads import qaoa_benchmark
+
+        assert qaoa_benchmark("qaoa12-0.4").num_qubits == 12
+        with pytest.raises(WorkloadError):
+            qaoa_benchmark("qaoa-0.4")
+
+    def test_drawer_ccx_symbols(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        text = circuit.draw()
+        lines = text.splitlines()
+        assert "*" in lines[0] and "*" in lines[1] and "X" in lines[2]
+
+
+def _bv():
+    from repro.workloads import bv_circuit
+
+    return bv_circuit(4)

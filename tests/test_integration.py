@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the full pipelines the paper describes.
+
+These tie together workloads -> CaQR passes -> transpiler -> simulator and
+assert end-to-end behaviour (correct answers, hardware compliance, metric
+consistency) rather than unit-level contracts.
+"""
+
+import pytest
+
+from repro.analysis import collect_metrics
+from repro.circuit import parse_qasm, to_qasm
+from repro.core import (
+    QSCaQR,
+    QSCaQRCommuting,
+    SRCaQR,
+    assess_reuse_benefit,
+    select_point,
+    sweep_regular,
+)
+from repro.hardware import ibm_mumbai
+from repro.sim import (
+    NoiseModel,
+    run_counts,
+    run_physical_counts,
+    total_variation_distance,
+)
+from repro.transpiler import transpile
+from repro.workloads import (
+    bv_circuit,
+    bv_expected_bitstring,
+    qaoa_maxcut_circuit,
+    random_graph,
+    regular_benchmark,
+)
+
+
+def project(counts, width):
+    out = {}
+    for key, value in counts.items():
+        out[key[:width]] = out.get(key[:width], 0) + value
+    return out
+
+
+class TestQSPipeline:
+    """Logical reuse -> hardware mapping -> simulation."""
+
+    def test_bv10_full_pipeline(self):
+        backend = ibm_mumbai()
+        circuit = bv_circuit(10)
+        reused = QSCaQR().reduce_to(circuit, 2)
+        assert reused.feasible
+        compiled = transpile(reused.circuit, backend, optimization_level=3, seed=3)
+        for instruction in compiled.circuit.data:
+            if len(instruction.qubits) == 2 and not instruction.is_directive():
+                assert backend.coupling.are_adjacent(*instruction.qubits)
+        counts = run_physical_counts(
+            compiled.circuit, backend, shots=100, seed=7,
+            noise=NoiseModel.ideal(),
+        )
+        assert project(counts, 9) == {bv_expected_bitstring(10): 100}
+
+    def test_sweep_select_compile_roundtrip(self):
+        backend = ibm_mumbai()
+        points = sweep_regular(regular_benchmark("xor_5"), backend=backend)
+        chosen = select_point(points, "min_depth")
+        report = assess_reuse_benefit(points)
+        assert report.beneficial
+        metrics = collect_metrics(chosen.circuit)
+        assert metrics.qubits_used == chosen.qubits
+
+    def test_reused_circuit_survives_qasm_roundtrip_and_simulation(self):
+        reused = QSCaQR().reduce_to(bv_circuit(6), 2).circuit
+        parsed = parse_qasm(to_qasm(reused))
+        counts = run_counts(parsed, shots=80, seed=9)
+        assert project(counts, 5) == {"11111": 80}
+
+
+class TestSRPipeline:
+    def test_sr_compiles_all_regular_benchmarks(self):
+        backend = ibm_mumbai()
+        for name in ("rd_32", "4mod5", "system_9", "bv_10", "cc_10", "xor_5"):
+            circuit = regular_benchmark(name)
+            result = SRCaQR(backend).run(circuit)
+            for instruction in result.circuit.data:
+                if len(instruction.qubits) == 2 and not instruction.is_directive():
+                    assert backend.coupling.are_adjacent(*instruction.qubits), name
+            metrics = collect_metrics(result.circuit, backend.calibration)
+            assert metrics.swap_count == result.swap_count, name
+
+    def test_sr_beats_or_ties_baseline_swaps_on_star_circuits(self):
+        backend = ibm_mumbai()
+        for name in ("bv_10", "xor_5", "cc_10"):
+            circuit = regular_benchmark(name)
+            baseline = transpile(circuit, backend, optimization_level=3, seed=5)
+            sr = SRCaQR(backend).run(circuit)
+            assert sr.swap_count <= baseline.swap_count, name
+
+
+class TestCommutingPipeline:
+    def test_qaoa_reuse_distribution_under_ideal_noise(self):
+        graph = random_graph(6, 0.4, seed=5)
+        plain = qaoa_maxcut_circuit(graph)
+        compiler = QSCaQRCommuting(graph)
+        floor = compiler.sweep()[-1]
+        counts_plain = run_counts(plain, shots=6000, seed=11)
+        counts_reused = run_counts(floor.circuit, shots=6000, seed=11)
+        tvd = total_variation_distance(
+            project(counts_plain, 6), project(counts_reused, 6)
+        )
+        assert tvd < 0.08
+
+    def test_lifetime_and_greedy_agree_semantically(self):
+        graph = random_graph(6, 0.4, seed=6)
+        compiler = QSCaQRCommuting(graph)
+        greedy_floor = compiler.sweep()[-1]
+        lifetime_floor = compiler.lifetime_sweep()[-1]
+        counts_a = run_counts(greedy_floor.circuit, shots=6000, seed=12)
+        counts_b = run_counts(lifetime_floor.circuit, shots=6000, seed=12)
+        tvd = total_variation_distance(project(counts_a, 6), project(counts_b, 6))
+        assert tvd < 0.08

@@ -1,0 +1,149 @@
+"""Tests for commutation analysis and commutation-aware cancellation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit import Instruction, QuantumCircuit
+from repro.sim import final_statevector
+from repro.transpiler.commutation import (
+    commutation_aware_cancel,
+    instructions_commute,
+)
+from tests.property.strategies import circuits
+
+
+def states_equal_up_to_phase(a, b, atol=1e-8):
+    index = int(np.argmax(np.abs(b)))
+    if abs(b[index]) < atol:
+        return np.allclose(a, b, atol=atol)
+    phase = a[index] / b[index]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestCommutationRelation:
+    def test_disjoint_wires_commute(self):
+        assert instructions_commute(Instruction("h", (0,)), Instruction("x", (1,)))
+
+    def test_diagonal_gates_commute(self):
+        assert instructions_commute(
+            Instruction("rz", (0,), params=(0.3,)), Instruction("cz", (0, 1))
+        )
+        assert instructions_commute(
+            Instruction("rzz", (0, 1), params=(0.3,)),
+            Instruction("rzz", (1, 2), params=(0.5,)),
+        )
+
+    def test_rz_through_cx_control(self):
+        assert instructions_commute(
+            Instruction("rz", (0,), params=(0.3,)), Instruction("cx", (0, 1))
+        )
+
+    def test_rz_blocked_at_cx_target(self):
+        assert not instructions_commute(
+            Instruction("rz", (1,), params=(0.3,)), Instruction("cx", (0, 1))
+        )
+
+    def test_x_through_cx_target(self):
+        assert instructions_commute(Instruction("x", (1,)), Instruction("cx", (0, 1)))
+
+    def test_x_blocked_at_cx_control(self):
+        assert not instructions_commute(
+            Instruction("x", (0,)), Instruction("cx", (0, 1))
+        )
+
+    def test_h_never_assumed_to_commute_on_shared_wire(self):
+        assert not instructions_commute(Instruction("h", (0,)), Instruction("cx", (0, 1)))
+
+    def test_measure_blocks(self):
+        assert not instructions_commute(
+            Instruction("measure", (0,), clbits=(0,)),
+            Instruction("rz", (0,), params=(0.1,)),
+        )
+
+    def test_shared_clbit_blocks(self):
+        a = Instruction("measure", (0,), clbits=(0,))
+        b = Instruction("x", (1,), condition=(0, 1))
+        assert not instructions_commute(a, b)
+
+    def test_commutation_is_actually_true(self):
+        """Numeric spot-check of every claimed commuting pair."""
+        from repro.circuit.gates import gate_matrix
+
+        def two_qubit_op(instruction, n=2):
+            full = np.eye(2**n, dtype=complex)
+            matrix = gate_matrix(instruction.name, instruction.params)
+            circuit = QuantumCircuit(n)
+            circuit.append(instruction)
+            state = np.eye(2**n, dtype=complex)
+            # build operator column by column via simulator
+            from repro.sim import Statevector
+
+            out = np.zeros((2**n, 2**n), dtype=complex)
+            for column in range(2**n):
+                sv = Statevector(n)
+                sv.amplitudes = np.zeros(2**n, dtype=complex)
+                sv.amplitudes[column] = 1.0
+                sv.apply_matrix(matrix, instruction.qubits)
+                out[:, column] = sv.amplitudes
+            return out
+
+        cases = [
+            (Instruction("rz", (0,), params=(0.37,)), Instruction("cx", (0, 1))),
+            (Instruction("x", (1,)), Instruction("cx", (0, 1))),
+            (Instruction("rzz", (0, 1), params=(0.7,)), Instruction("cz", (0, 1))),
+        ]
+        for a, b in cases:
+            assert instructions_commute(a, b)
+            op_a, op_b = two_qubit_op(a), two_qubit_op(b)
+            assert np.allclose(op_a @ op_b, op_b @ op_a, atol=1e-10)
+
+
+class TestCommutationAwareCancel:
+    def test_rz_between_cx_pair(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(0.5, 0)
+        circuit.cx(0, 1)
+        result = commutation_aware_cancel(circuit)
+        assert "cx" not in result.count_ops()
+        assert result.count_ops()["rz"] == 1
+
+    def test_x_on_target_between_cx_pair(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.x(1)
+        circuit.cx(0, 1)
+        result = commutation_aware_cancel(circuit)
+        assert "cx" not in result.count_ops()
+
+    def test_blocking_gate_prevents_cancel(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        result = commutation_aware_cancel(circuit)
+        assert result.count_ops()["cx"] == 2
+
+    def test_plain_adjacent_still_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.cz(0, 1)
+        assert len(commutation_aware_cancel(circuit)) == 0
+
+    @given(circuits(max_qubits=3, max_gates=14))
+    @settings(max_examples=30, deadline=None)
+    def test_semantics_preserved(self, circuit):
+        result = commutation_aware_cancel(circuit)
+        assert len(result) <= len(circuit)
+        assert states_equal_up_to_phase(
+            final_statevector(result), final_statevector(circuit)
+        )
+
+    def test_never_grows(self):
+        circuit = QuantumCircuit(3)
+        circuit.rzz(0.5, 0, 1)
+        circuit.rzz(0.5, 1, 2)
+        circuit.rzz(0.5, 0, 2)
+        result = commutation_aware_cancel(circuit)
+        assert len(result) <= 3

@@ -1,0 +1,97 @@
+"""Tests for Layout and seed layout heuristics."""
+
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.hardware import line, star
+from repro.transpiler import Layout, greedy_degree_layout, trivial_layout
+
+
+class TestLayout:
+    def test_assign_and_lookup(self):
+        layout = Layout(2, 4)
+        layout.assign(0, 3)
+        assert layout.physical(0) == 3
+        assert layout.logical(3) == 0
+        assert layout.logical(0) is None
+
+    def test_double_assign_rejected(self):
+        layout = Layout(2, 4)
+        layout.assign(0, 1)
+        with pytest.raises(TranspilerError):
+            layout.assign(0, 2)
+        with pytest.raises(TranspilerError):
+            layout.assign(1, 1)
+
+    def test_wider_than_device_allowed_for_reuse(self):
+        # SR-CaQR maps more logical qubits than the device has, reusing
+        # wires; only trivial_layout insists on a one-to-one fit
+        layout = Layout(5, 3)
+        assert layout.num_logical == 5
+        with pytest.raises(TranspilerError):
+            trivial_layout(5, 3)
+
+    def test_release_frees_physical(self):
+        layout = Layout(1, 2)
+        layout.assign(0, 1)
+        physical = layout.release(0)
+        assert physical == 1
+        assert not layout.is_mapped(0)
+        assert 1 in layout.free_physical()
+
+    def test_release_unmapped_raises(self):
+        layout = Layout(1, 2)
+        with pytest.raises(TranspilerError):
+            layout.release(0)
+
+    def test_free_physical(self):
+        layout = Layout(1, 3)
+        layout.assign(0, 1)
+        assert layout.free_physical() == [0, 2]
+
+    def test_swap_physical_both_occupied(self):
+        layout = Layout(2, 2)
+        layout.assign(0, 0)
+        layout.assign(1, 1)
+        layout.swap_physical(0, 1)
+        assert layout.physical(0) == 1
+        assert layout.physical(1) == 0
+
+    def test_swap_physical_with_free_slot(self):
+        layout = Layout(1, 2)
+        layout.assign(0, 0)
+        layout.swap_physical(0, 1)
+        assert layout.physical(0) == 1
+        assert layout.logical(0) is None
+
+    def test_copy_is_independent(self):
+        layout = Layout(1, 2)
+        layout.assign(0, 0)
+        duplicate = layout.copy()
+        duplicate.swap_physical(0, 1)
+        assert layout.physical(0) == 0
+
+    def test_as_dict(self):
+        layout = Layout(2, 4)
+        layout.assign(1, 3)
+        assert layout.as_dict() == {1: 3}
+
+
+class TestSeedLayouts:
+    def test_trivial(self):
+        layout = trivial_layout(3, 5)
+        assert layout.as_dict() == {0: 0, 1: 1, 2: 2}
+
+    def test_greedy_puts_hub_on_high_degree(self):
+        # logical hub (degree 4) should land on the star's centre
+        degrees = {0: 1, 1: 1, 2: 4, 3: 1, 4: 1}
+        coupling = star(5)
+        layout = greedy_degree_layout(degrees, coupling, 5)
+        assert layout.physical(2) == 0
+
+    def test_greedy_total_mapping(self):
+        degrees = {q: 1 for q in range(4)}
+        layout = greedy_degree_layout(degrees, line(6), 4)
+        mapped = layout.as_dict()
+        assert len(mapped) == 4
+        assert len(set(mapped.values())) == 4

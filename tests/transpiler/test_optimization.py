@@ -1,0 +1,204 @@
+"""Tests for peephole optimisation passes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, gate_matrix
+from repro.sim import final_statevector
+from repro.transpiler import (
+    cancel_adjacent_self_inverse,
+    drop_identity_rotations,
+    merge_single_qubit_runs,
+    optimize_circuit,
+    zyz_angles,
+)
+
+
+def states_equal_up_to_phase(a, b, atol=1e-8):
+    index = int(np.argmax(np.abs(b)))
+    if abs(b[index]) < atol:
+        return np.allclose(a, b, atol=atol)
+    phase = a[index] / b[index]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "s", "t", "sx"])
+    def test_recovers_fixed_gates(self, name):
+        matrix = gate_matrix(name)
+        theta, phi, lam = zyz_angles(matrix)
+        rebuilt = gate_matrix("u", (theta, phi, lam))
+        index = np.unravel_index(np.argmax(np.abs(matrix)), matrix.shape)
+        phase = matrix[index] / rebuilt[index]
+        assert np.allclose(matrix, phase * rebuilt, atol=1e-9)
+
+    @pytest.mark.parametrize("angle", [0.1, 1.0, math.pi / 2, 3.0])
+    def test_recovers_rotations(self, angle):
+        for name in ("rx", "ry", "rz"):
+            matrix = gate_matrix(name, (angle,))
+            theta, phi, lam = zyz_angles(matrix)
+            rebuilt = gate_matrix("u", (theta, phi, lam))
+            index = np.unravel_index(np.argmax(np.abs(matrix)), matrix.shape)
+            phase = matrix[index] / rebuilt[index]
+            assert np.allclose(matrix, phase * rebuilt, atol=1e-9)
+
+
+class TestMergeSingleQubitRuns:
+    def test_run_collapses_to_one_u(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.h(0)
+        circuit.s(0)
+        merged = merge_single_qubit_runs(circuit)
+        assert merged.count_ops() == {"u": 1}
+        assert states_equal_up_to_phase(
+            final_statevector(merged), final_statevector(circuit)
+        )
+
+    def test_identity_run_dropped(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.h(0)
+        merged = merge_single_qubit_runs(circuit)
+        assert len(merged) == 0
+
+    def test_two_qubit_gate_breaks_run(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        merged = merge_single_qubit_runs(circuit)
+        names = [i.name for i in merged.data]
+        assert names == ["u", "cx", "u"]
+
+    def test_conditioned_gate_not_merged(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.x(0).c_if(0, 1)
+        circuit.h(0)
+        merged = merge_single_qubit_runs(circuit)
+        names = [i.name for i in merged.data]
+        assert "x" in names  # the conditioned gate survives verbatim
+        assert merged.data[names.index("x")].condition == (0, 1)
+
+    def test_measure_breaks_run(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.h(0)
+        merged = merge_single_qubit_runs(circuit)
+        assert [i.name for i in merged.data] == ["u", "measure", "u"]
+
+    def test_semantics_preserved_on_mixed_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.ry(0.3, 1)
+        circuit.cx(0, 1)
+        circuit.sdg(1)
+        circuit.rx(1.1, 1)
+        merged = merge_single_qubit_runs(circuit)
+        assert states_equal_up_to_phase(
+            final_statevector(merged), final_statevector(circuit)
+        )
+
+
+class TestCancellation:
+    def test_adjacent_cx_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert len(cancelled) == 0
+
+    def test_reversed_cx_does_not_cancel(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert cancelled.count_ops()["cx"] == 2
+
+    def test_cz_cancels_in_any_order(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.cz(1, 0)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert len(cancelled) == 0
+
+    def test_interposed_gate_blocks_cancellation(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.x(1)
+        circuit.cx(0, 1)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert cancelled.count_ops()["cx"] == 2
+
+    def test_gate_on_other_wire_does_not_block(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.h(2)
+        circuit.cx(0, 1)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert "cx" not in cancelled.count_ops()
+
+    def test_fixed_point_cascade(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert len(cancelled) == 0
+
+    def test_triple_leaves_one(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(3):
+            circuit.cx(0, 1)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert cancelled.count_ops()["cx"] == 1
+
+    def test_conditioned_gates_never_cancel(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).c_if(0, 1)
+        circuit.x(0).c_if(0, 1)
+        cancelled = cancel_adjacent_self_inverse(circuit)
+        assert cancelled.count_ops()["x"] == 2
+
+
+class TestDropIdentities:
+    def test_zero_rotation_dropped(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.0, 0)
+        circuit.rx(2 * math.pi, 0)
+        assert len(drop_identity_rotations(circuit)) == 0
+
+    def test_nonzero_rotation_kept(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.5, 0)
+        assert len(drop_identity_rotations(circuit)) == 1
+
+    def test_id_gate_dropped(self):
+        circuit = QuantumCircuit(1)
+        circuit.id(0)
+        assert len(drop_identity_rotations(circuit)) == 0
+
+
+class TestFullPass:
+    def test_optimize_preserves_semantics(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        circuit.t(1)
+        circuit.tdg(1)
+        circuit.rz(0.0, 2)
+        circuit.ry(0.7, 2)
+        circuit.cx(1, 2)
+        optimized = optimize_circuit(circuit)
+        assert states_equal_up_to_phase(
+            final_statevector(optimized), final_statevector(circuit)
+        )
+        assert optimized.two_qubit_gate_count() < circuit.two_qubit_gate_count()

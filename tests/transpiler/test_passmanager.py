@@ -1,0 +1,114 @@
+"""Tests for the pass-manager framework."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.hardware import ibm_mumbai
+from repro.sim import run_counts
+from repro.transpiler.passmanager import (
+    BasePass,
+    DecomposeToTwoQubit,
+    InsertDelaysPass,
+    PassManager,
+    PeepholeOptimise,
+    PropertySet,
+    QubitReusePass,
+    SabreLayoutPass,
+    SabreRoutePass,
+    TranslateToBasis,
+    baseline_pass_manager,
+)
+from repro.workloads import bv_circuit
+
+
+def assert_compliant(circuit, coupling):
+    for instruction in circuit.data:
+        if len(instruction.qubits) == 2 and not instruction.is_directive():
+            assert coupling.are_adjacent(*instruction.qubits)
+
+
+class TestPropertySet:
+    def test_attribute_sugar(self):
+        props = PropertySet()
+        props.layout = "x"
+        assert props["layout"] == "x"
+        assert props.layout == "x"
+        with pytest.raises(AttributeError):
+            _ = props.missing
+
+
+class TestPassManager:
+    def test_baseline_pipeline_matches_transpile_contract(self):
+        backend = ibm_mumbai()
+        circuit = bv_circuit(6)
+        pm = baseline_pass_manager(seed=5)
+        compiled = pm.run(circuit, backend)
+        assert_compliant(compiled, backend.coupling)
+        assert pm.properties["swap_count"] == compiled.swap_count()
+
+    def test_records_collected(self):
+        backend = ibm_mumbai()
+        pm = baseline_pass_manager(seed=5)
+        pm.run(bv_circuit(4), backend)
+        assert len(pm.records) == 4
+        assert all(record.seconds >= 0 for record in pm.records)
+        assert "SabreRoutePass" in pm.report()
+
+    def test_native_basis_output(self):
+        from repro.transpiler import is_in_basis
+
+        backend = ibm_mumbai()
+        pm = baseline_pass_manager(seed=5, native_basis=True)
+        compiled = pm.run(bv_circuit(4), backend)
+        assert is_in_basis(compiled)
+
+    def test_pass_returning_none_rejected(self):
+        class Broken(BasePass):
+            def run(self, circuit, backend, properties):
+                return None
+
+        with pytest.raises(TranspilerError):
+            PassManager([Broken()]).run(QuantumCircuit(1))
+
+    def test_layout_pass_requires_backend(self):
+        with pytest.raises(TranspilerError):
+            PassManager([SabreLayoutPass()]).run(QuantumCircuit(2))
+
+    def test_append_chains(self):
+        pm = PassManager().append(DecomposeToTwoQubit()).append(PeepholeOptimise())
+        assert len(pm.passes) == 2
+
+
+class TestReusePassIntegration:
+    def test_reuse_then_map_pipeline(self):
+        """The paper's QS-CaQR flow as a pass pipeline."""
+        backend = ibm_mumbai()
+        pm = PassManager([
+            QubitReusePass(qubit_limit=2),
+            SabreLayoutPass(seed=3),
+            SabreRoutePass(seed=3),
+            PeepholeOptimise(merge_1q=False),
+        ])
+        compiled = pm.run(bv_circuit(6), backend)
+        assert_compliant(compiled, backend.coupling)
+        assert len(pm.properties["reuse_pairs"]) == 4
+        counts = run_counts(compiled.compacted(), shots=80, seed=4)
+        projected = {}
+        for key, value in counts.items():
+            projected[key[:5]] = projected.get(key[:5], 0) + value
+        assert projected == {"11111": 80}
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(TranspilerError):
+            PassManager([QubitReusePass(qubit_limit=1)]).run(bv_circuit(4))
+
+    def test_delay_pass(self):
+        backend = ibm_mumbai()
+        pm = PassManager([
+            SabreLayoutPass(seed=3),
+            SabreRoutePass(seed=3),
+            InsertDelaysPass(policy="alap"),
+        ])
+        compiled = pm.run(bv_circuit(4), backend)
+        assert "delay" in compiled.count_ops()

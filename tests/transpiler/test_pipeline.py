@@ -1,0 +1,100 @@
+"""Tests for the end-to-end transpile pipeline (the paper's baseline)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.random import random_circuit
+from repro.exceptions import TranspilerError
+from repro.hardware import falcon_27, generic_backend, ibm_mumbai, line
+from repro.sim import run_counts
+from repro.transpiler import decompose_ccx, transpile
+
+
+def assert_compliant(circuit, coupling):
+    for instruction in circuit.data:
+        if len(instruction.qubits) == 2 and not instruction.is_directive():
+            assert coupling.are_adjacent(*instruction.qubits)
+
+
+class TestDecomposition:
+    def test_ccx_expansion_semantics(self):
+        from repro.sim import final_statevector
+        import numpy as np
+
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.x(1)
+        circuit.ccx(0, 1, 2)
+        expanded = decompose_ccx(circuit)
+        assert "ccx" not in expanded.count_ops()
+        state_a = final_statevector(circuit)
+        state_b = final_statevector(expanded)
+        index = int(np.argmax(np.abs(state_a)))
+        phase = state_b[index] / state_a[index]
+        assert np.allclose(state_b, phase * state_a, atol=1e-9)
+
+    def test_ccx_expansion_count(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        assert decompose_ccx(circuit).count_ops()["cx"] == 6
+
+
+class TestTranspile:
+    def test_levels_produce_compliant_circuits(self):
+        backend = generic_backend(falcon_27(), seed=1)
+        circuit = random_circuit(6, 30, seed=2, measure=True)
+        for level in range(4):
+            result = transpile(circuit, backend, optimization_level=level, seed=7)
+            assert_compliant(result.circuit, backend.coupling)
+
+    def test_bad_level_rejected(self):
+        backend = generic_backend(line(3))
+        with pytest.raises(TranspilerError):
+            transpile(QuantumCircuit(2), backend, optimization_level=9)
+
+    def test_too_wide_rejected(self):
+        backend = generic_backend(line(3))
+        from repro.exceptions import HardwareError
+
+        with pytest.raises(HardwareError):
+            transpile(QuantumCircuit(5), backend)
+
+    def test_metrics_recorded(self):
+        backend = ibm_mumbai()
+        circuit = random_circuit(5, 25, seed=3, measure=True)
+        result = transpile(circuit, backend, optimization_level=3, seed=5)
+        assert result.swap_count == result.circuit.swap_count()
+        assert result.depth == result.circuit.depth()
+        assert result.duration_dt > 0
+        assert result.qubits_used <= backend.num_qubits
+
+    def test_level3_not_worse_than_level0(self):
+        backend = ibm_mumbai()
+        circuit = random_circuit(6, 40, seed=4)
+        level0 = transpile(circuit, backend, optimization_level=0, seed=5)
+        level3 = transpile(circuit, backend, optimization_level=3, seed=5)
+        assert level3.two_qubit_count <= level0.two_qubit_count
+
+    def test_semantics_preserved_through_pipeline(self):
+        backend = generic_backend(line(4), seed=6)
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0)
+        circuit.cx(0, 2)
+        circuit.cx(1, 2)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        circuit.measure(2, 2)
+        result = transpile(circuit, backend, optimization_level=3, seed=8)
+        counts_logical = run_counts(circuit, shots=4000, seed=9)
+        counts_compiled = run_counts(result.circuit, shots=4000, seed=9)
+        for key in set(counts_logical) | set(counts_compiled):
+            assert abs(counts_logical.get(key, 0) - counts_compiled.get(key, 0)) < 300
+
+    def test_ccx_handled_by_pipeline(self):
+        backend = ibm_mumbai()
+        circuit = QuantumCircuit(3, 3)
+        circuit.ccx(0, 1, 2)
+        circuit.measure_all()
+        result = transpile(circuit, backend, optimization_level=1, seed=2)
+        assert "ccx" not in result.circuit.count_ops()
+        assert_compliant(result.circuit, backend.coupling)

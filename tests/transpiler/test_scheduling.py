@@ -1,0 +1,82 @@
+"""Tests for ASAP scheduling and duration computation."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import CONDITIONAL_LATENCY_DT, DEFAULT_DURATIONS
+from repro.hardware import generic_backend, line
+from repro.transpiler import circuit_duration_dt, schedule_asap
+
+
+class TestScheduleASAP:
+    def test_serial_chain(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        schedule = schedule_asap(circuit)
+        assert schedule.entries[0].start == 0
+        assert schedule.entries[1].start == schedule.entries[0].finish
+        assert schedule.makespan == 2 * DEFAULT_DURATIONS["cx"]
+
+    def test_parallel_gates_overlap(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        schedule = schedule_asap(circuit)
+        assert schedule.entries[0].start == 0
+        assert schedule.entries[1].start == 0
+        assert schedule.makespan == DEFAULT_DURATIONS["cx"]
+
+    def test_feed_forward_serializes_on_clbit(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        circuit.x(1).c_if(0, 1)
+        schedule = schedule_asap(circuit)
+        assert schedule.entries[1].start == schedule.entries[0].finish
+        assert schedule.entries[1].duration == \
+            DEFAULT_DURATIONS["x"] + CONDITIONAL_LATENCY_DT
+
+    def test_barrier_takes_no_time(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.barrier(0)
+        circuit.x(0)
+        assert circuit_duration_dt(circuit) == 2 * DEFAULT_DURATIONS["x"]
+
+    def test_calibrated_durations_used(self):
+        backend = generic_backend(line(3), seed=4)
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        duration = circuit_duration_dt(circuit, backend.calibration)
+        assert duration == backend.calibration.get_cx_duration(0, 1)
+
+    def test_paper_reset_comparison(self):
+        """Fig. 2: measure+c_if(X) is about half of measure+reset."""
+        cif = QuantumCircuit(1, 1)
+        cif.measure_and_reset(0, 0, style="cif")
+        builtin = QuantumCircuit(1, 1)
+        builtin.measure_and_reset(0, 0, style="builtin")
+        assert circuit_duration_dt(cif) == 16467
+        assert circuit_duration_dt(builtin) == 33179
+
+    def test_busy_and_idle_time(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.x(0)
+        circuit.x(0)
+        circuit.cx(0, 1)
+        schedule = schedule_asap(circuit)
+        x = DEFAULT_DURATIONS["x"]
+        assert schedule.qubit_busy_time(0) == 3 * x + DEFAULT_DURATIONS["cx"]
+        # qubit 1 waits for the three X gates before its CX
+        assert schedule.qubit_idle_time(1) == 0  # first touch is the cx itself
+        assert schedule.qubit_idle_time(0) == 0
+
+    def test_idle_gap_detected(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(1)          # q1 busy briefly
+        circuit.x(0)
+        circuit.x(0)
+        circuit.cx(0, 1)      # q1 idles waiting for q0
+        schedule = schedule_asap(circuit)
+        assert schedule.qubit_idle_time(1) == DEFAULT_DURATIONS["x"]

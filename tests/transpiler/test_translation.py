@@ -1,0 +1,108 @@
+"""Tests for native-basis translation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.random import random_circuit
+from repro.exceptions import TranspilerError
+from repro.sim import final_statevector
+from repro.transpiler.translation import NATIVE_BASIS, is_in_basis, translate_to_basis
+
+
+def states_equal_up_to_phase(a, b, atol=1e-8):
+    index = int(np.argmax(np.abs(b)))
+    if abs(b[index]) < atol:
+        return np.allclose(a, b, atol=atol)
+    phase = a[index] / b[index]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestTranslation:
+    def test_output_is_in_basis(self):
+        circuit = random_circuit(4, 25, seed=1)
+        translated = translate_to_basis(circuit)
+        assert is_in_basis(translated)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_semantics_preserved(self, seed):
+        circuit = random_circuit(3, 15, seed=seed)
+        translated = translate_to_basis(circuit)
+        assert states_equal_up_to_phase(
+            final_statevector(translated), final_statevector(circuit)
+        )
+
+    def test_hadamard_translation(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        translated = translate_to_basis(circuit)
+        assert set(i.name for i in translated.data) <= {"rz", "sx"}
+        assert states_equal_up_to_phase(
+            final_statevector(translated), final_statevector(circuit)
+        )
+
+    def test_swap_becomes_three_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        translated = translate_to_basis(circuit)
+        assert translated.count_ops()["cx"] == 3
+
+    def test_ccx_translated(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        translated = translate_to_basis(circuit)
+        assert is_in_basis(translated)
+        assert translated.count_ops()["cx"] == 6
+
+    def test_rzz_structure(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.7, 0, 1)
+        translated = translate_to_basis(circuit)
+        assert translated.count_ops()["cx"] == 2
+        assert states_equal_up_to_phase(
+            final_statevector(translated), final_statevector(circuit)
+        )
+
+    def test_conditional_x_passes_through(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.x(0).c_if(0, 1)
+        translated = translate_to_basis(circuit)
+        assert translated.data[1].condition == (0, 1)
+
+    def test_conditioned_nonbasis_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).c_if(0, 1)
+        with pytest.raises(TranspilerError):
+            translate_to_basis(circuit)
+
+    def test_measure_and_reset_survive(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.h(0)
+        circuit.measure_and_reset(0, 0)
+        circuit.measure(0, 1)
+        translated = translate_to_basis(circuit)
+        assert translated.count_ops()["measure"] == 2
+
+    def test_idempotent_on_native(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.rz(0.3, 0)
+        circuit.sx(0)
+        circuit.cx(0, 1)
+        circuit.measure(1, 0)
+        translated = translate_to_basis(circuit)
+        assert [i.name for i in translated.data] == [i.name for i in circuit.data]
+
+    @pytest.mark.parametrize("name,args", [
+        ("cz", ()), ("cy", ()), ("cp", (0.5,)), ("crz", (1.1,)),
+    ])
+    def test_each_two_qubit_gate(self, name, args):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        getattr(circuit, name)(*args, 0, 1)
+        translated = translate_to_basis(circuit)
+        assert is_in_basis(translated)
+        assert states_equal_up_to_phase(
+            final_statevector(translated), final_statevector(circuit)
+        )

@@ -1,0 +1,45 @@
+"""Tests for Bernstein-Vazirani circuits."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.sim import run_counts
+from repro.workloads import bv_circuit, bv_expected_bitstring
+
+
+class TestBVConstruction:
+    def test_width(self):
+        circuit = bv_circuit(5)
+        assert circuit.num_qubits == 5
+        assert circuit.num_clbits == 4
+
+    def test_cx_count_matches_secret_weight(self):
+        circuit = bv_circuit(6, secret=[1, 0, 1, 1, 0])
+        assert circuit.count_ops()["cx"] == 3
+
+    def test_star_interaction(self):
+        graph = bv_circuit(5).interaction_graph()
+        assert graph.degree(4) == 4
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            bv_circuit(1)
+
+    def test_bad_secret_rejected(self):
+        with pytest.raises(WorkloadError):
+            bv_circuit(3, secret=[1])
+        with pytest.raises(WorkloadError):
+            bv_circuit(3, secret=[1, 2])
+
+
+class TestBVSemantics:
+    @pytest.mark.parametrize("secret", [[1, 1, 1], [0, 1, 0], [1, 0, 1]])
+    def test_recovers_secret(self, secret):
+        circuit = bv_circuit(4, secret=secret)
+        counts = run_counts(circuit, shots=200, seed=1)
+        expected = bv_expected_bitstring(4, secret)
+        assert counts == {expected: 200}
+
+    def test_default_secret_all_ones(self):
+        counts = run_counts(bv_circuit(5), shots=100, seed=2)
+        assert counts == {"1111": 100}

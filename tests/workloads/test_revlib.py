@@ -1,0 +1,63 @@
+"""Tests for the RevLib-style regular benchmarks."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.sim import run_counts
+from repro.workloads import cc_circuit, four_mod5, multiply_13, rd32, system_9, xor5
+
+
+class TestWidths:
+    """Every benchmark must match the paper's published qubit counts."""
+
+    def test_rd32(self):
+        assert rd32().num_qubits == 4
+
+    def test_4mod5(self):
+        assert four_mod5().num_qubits == 5
+
+    def test_multiply_13(self):
+        assert multiply_13().num_qubits == 13
+
+    def test_system_9(self):
+        assert system_9().num_qubits == 9
+
+    def test_cc_10(self):
+        assert cc_circuit(10).num_qubits == 10
+
+    def test_xor5(self):
+        assert xor5().num_qubits == 5
+
+
+class TestStructure:
+    def test_xor5_star_interaction(self):
+        graph = xor5().interaction_graph()
+        assert graph.degree(4) == 4
+
+    def test_cc_has_mid_circuit_measurement(self):
+        assert cc_circuit(10).has_dynamic_operations()
+
+    def test_arithmetic_circuits_use_toffolis(self):
+        for circuit in (rd32(), four_mod5(), multiply_13(), system_9()):
+            assert circuit.count_ops()["ccx"] >= 1
+
+    def test_cc_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            cc_circuit(2)
+
+
+class TestDeterministicOutputs:
+    """The classical reversible circuits on fixed inputs output one string."""
+
+    @pytest.mark.parametrize("builder", [rd32, four_mod5, multiply_13, system_9, xor5])
+    def test_single_outcome(self, builder):
+        circuit = builder()
+        counts = run_counts(circuit, shots=64, seed=3)
+        assert len(counts) == 1
+
+    def test_xor5_parity_value(self):
+        # inputs 1,0,1,1 -> parity 1 on the target (clbit 4)
+        counts = run_counts(xor5(), shots=32, seed=4)
+        key = next(iter(counts))
+        assert key[4] == "1"
+        assert key[:4] == "1011"
