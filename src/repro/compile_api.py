@@ -64,6 +64,8 @@ def caqr_compile(
     reset_style: str = "cif",
     seed: int = 11,
     auto_commuting: bool = True,
+    incremental: bool = True,
+    parallel: bool = True,
 ) -> CompileReport:
     """Compile a circuit or QAOA problem graph with qubit reuse.
 
@@ -84,6 +86,10 @@ def caqr_compile(
         auto_commuting: recognise QAOA-shaped circuits and dispatch them to
             the commuting-gate pipeline (uniform-angle circuits only; the
             regular pipeline handles everything else soundly).
+        incremental: drive QS-CaQR through the incremental evaluation
+            session (default; ``False`` selects the from-scratch reference
+            engine — both pick identical reuse pairs).
+        parallel: allow process-pool candidate scoring on large circuits.
     """
     angles = None
     if (
@@ -119,7 +125,8 @@ def caqr_compile(
             compiled = SRCaQR(backend, reset_style=reset_style).run(target).circuit
             original_width = target.num_qubits
         baseline = _baseline_metrics(target, backend, seed, angles)
-        sweep = _sweep(target, None, reset_style, seed)
+        sweep = _sweep(target, None, reset_style, seed,
+                       incremental=incremental, parallel=parallel)
         metrics = collect_metrics(
             compiled, backend.calibration if backend else None
         )
@@ -144,7 +151,11 @@ def caqr_compile(
             ).reduce_to(qubit_limit)
             original_width = target.number_of_nodes()
         else:
-            point = QSCaQR(reset_style=reset_style).reduce_to(target, qubit_limit)
+            point = QSCaQR(
+                reset_style=reset_style,
+                incremental=incremental,
+                parallel=parallel,
+            ).reduce_to(target, qubit_limit)
             original_width = target.num_qubits
         if not point.feasible:
             raise ReuseError(
@@ -157,7 +168,8 @@ def caqr_compile(
             if backend is not None
             else logical
         )
-        sweep = _sweep(target, None, reset_style, seed, angles)
+        sweep = _sweep(target, None, reset_style, seed, angles,
+                       incremental=incremental, parallel=parallel)
         return CompileReport(
             circuit=compiled,
             mode=mode,
@@ -171,7 +183,8 @@ def caqr_compile(
 
     if mode not in ("max_reuse", "min_depth"):
         raise ReuseError(f"unknown compile mode {mode!r}")
-    sweep = _sweep(target, backend, reset_style, seed, angles)
+    sweep = _sweep(target, backend, reset_style, seed, angles,
+                   incremental=incremental, parallel=parallel)
     point = select_point(sweep, mode)
     original_width = (
         target.number_of_nodes() if is_graph else target.num_qubits
@@ -188,7 +201,8 @@ def caqr_compile(
     )
 
 
-def _sweep(target, backend, reset_style, seed, angles=None):
+def _sweep(target, backend, reset_style, seed, angles=None,
+           incremental=True, parallel=True):
     if isinstance(target, nx.Graph):
         gamma, beta = angles if angles is not None else (None, None)
         return sweep_commuting(
@@ -198,9 +212,15 @@ def _sweep(target, backend, reset_style, seed, angles=None):
             seed=seed,
             gamma=gamma,
             beta=beta,
+            parallel=parallel,
         )
     return sweep_regular(
-        target, backend=backend, reset_style=reset_style, seed=seed
+        target,
+        backend=backend,
+        reset_style=reset_style,
+        seed=seed,
+        incremental=incremental,
+        parallel=parallel,
     )
 
 

@@ -9,10 +9,13 @@ from repro.core.conditions import (
     valid_reuse_pairs,
 )
 from repro.core.evaluate import (
+    PairScorer,
     add_reuse_dummy_node,
+    batch_pair_costs,
     evaluate_pair_depth,
     evaluate_pair_duration,
     reuse_node_duration_dt,
+    tail_path_lengths,
 )
 from repro.core.lifetime import (
     alive_profile,
@@ -26,8 +29,14 @@ from repro.core.lifetime_regular import (
     greedy_gate_order,
     lifetime_compile_regular,
 )
-from repro.core.profile import ReuseProfile, profile_circuit, profile_graph
+from repro.core.profile import (
+    ReuseEvalStats,
+    ReuseProfile,
+    profile_circuit,
+    profile_graph,
+)
 from repro.core.qs_caqr import QSCaQR, QSCaQRResult
+from repro.core.session import ReuseSession
 from repro.core.qs_commuting import (
     CommutingSchedule,
     QSCaQRCommuting,
@@ -60,6 +69,11 @@ __all__ = [
     "evaluate_pair_duration",
     "reuse_node_duration_dt",
     "add_reuse_dummy_node",
+    "tail_path_lengths",
+    "batch_pair_costs",
+    "PairScorer",
+    "ReuseSession",
+    "ReuseEvalStats",
     "apply_reuse_pair",
     "apply_reuse_chain",
     "ReuseTransformation",

@@ -10,6 +10,17 @@ The driver greedily reduces qubit usage one wire at a time:
 
 ``sweep`` records every intermediate circuit so callers can explore the
 full qubit-usage / depth tradeoff curve (Figs. 3, 13, 14).
+
+Two execution engines produce identical pair sequences:
+
+* the **incremental engine** (default) drives a
+  :class:`~repro.core.session.ReuseSession` — one DAG + descendants-bitset
+  cache for the whole sweep, batched candidate costs through
+  :class:`~repro.core.evaluate.PairScorer` (process-pool fan-out on large
+  circuits), and a closure-free reuse-potential lookahead;
+* the **reference engine** (``incremental=False``) re-analyses the
+  materialised circuit from scratch at every step — the paper-literal
+  path the differential tests pin the fast engine against.
 """
 
 from __future__ import annotations
@@ -19,7 +30,13 @@ from typing import List, Optional
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.core.conditions import ReuseAnalysis, ReusePair
-from repro.core.evaluate import evaluate_pair_depth, evaluate_pair_duration
+from repro.core.evaluate import (
+    PairScorer,
+    evaluate_pair_depth,
+    evaluate_pair_duration,
+)
+from repro.core.profile import ReuseEvalStats
+from repro.core.session import ReuseSession
 from repro.core.transform import apply_reuse_pair
 from repro.exceptions import ReuseError
 from repro.transpiler.scheduling import circuit_duration_dt
@@ -35,7 +52,9 @@ class QSCaQRResult:
         circuit: the transformed logical circuit.
         qubits: its width (qubit usage).
         depth: logical circuit depth.
-        duration_dt: estimated logical duration with default gate times.
+        duration_dt: estimated logical duration with default gate times —
+            computed lazily on first access unless the sweep's objective
+            already priced it (``objective="duration"``).
         pairs: reuse pairs applied so far (indices are per-step wire labels).
         feasible: whether the requested budget was reached (``reduce_to``
             sets this; a sweep's entries are feasible by construction).
@@ -44,9 +63,15 @@ class QSCaQRResult:
     circuit: QuantumCircuit
     qubits: int
     depth: int
-    duration_dt: int
     pairs: List[ReusePair] = field(default_factory=list)
     feasible: bool = True
+    duration_dt_cached: Optional[int] = field(default=None, repr=False)
+
+    @property
+    def duration_dt(self) -> int:
+        if self.duration_dt_cached is None:
+            self.duration_dt_cached = circuit_duration_dt(self.circuit)
+        return self.duration_dt_cached
 
 
 class QSCaQR:
@@ -57,6 +82,23 @@ class QSCaQR:
             depth; ``"duration"`` by estimated duration in dt (which
             penalises the slow measurement the reuse inserts).
         reset_style: ``"cif"`` (measure + conditional X) or ``"builtin"``.
+        lookahead_width: cap on how many of the cheapest candidates get the
+            reuse-potential lookahead (None = all of them, exact for the
+            paper's benchmark sizes).
+        incremental: drive the sweep through a persistent
+            :class:`~repro.core.session.ReuseSession` instead of
+            re-analysing the circuit from scratch each step.  Both engines
+            select identical pair sequences.
+        parallel: allow process-pool fan-out of candidate scoring and the
+            lookahead on large circuits (small ones stay serial — see the
+            workload thresholds in :mod:`repro.core.evaluate` and
+            :mod:`repro.core.session`).
+        parallel_threshold: override both fan-out thresholds at once.
+        max_workers: process-pool size.
+
+    The instance's :attr:`stats` (a
+    :class:`~repro.core.profile.ReuseEvalStats`) accumulates evaluation
+    counters, cache hits, and wall-time buckets across runs.
     """
 
     def __init__(
@@ -64,6 +106,10 @@ class QSCaQR:
         objective: str = "depth",
         reset_style: str = "cif",
         lookahead_width: Optional[int] = None,
+        incremental: bool = True,
+        parallel: bool = True,
+        parallel_threshold: Optional[int] = None,
+        max_workers: Optional[int] = None,
     ):
         if objective not in ("depth", "duration"):
             raise ReuseError(f"unknown objective {objective!r}")
@@ -73,6 +119,11 @@ class QSCaQR:
         # (exact for the paper's benchmark sizes); set an int to cap the
         # window on very wide circuits.
         self.lookahead_width = lookahead_width
+        self.incremental = incremental
+        self.parallel = parallel
+        self.parallel_threshold = parallel_threshold
+        self.max_workers = max_workers
+        self.stats = ReuseEvalStats()
 
     # -- single greedy step ---------------------------------------------------
 
@@ -105,6 +156,9 @@ class QSCaQR:
         dummy node inserted (paper Fig. 9); among the ``lookahead_width``
         cheapest, the pair whose application leaves the largest remaining
         reuse-matching bound wins (cost breaks ties).
+
+        This is the from-scratch reference evaluation; the incremental
+        engine reproduces its choices without rebuilding the analysis.
         """
         analysis = ReuseAnalysis(circuit)
         candidates = analysis.valid_pairs()
@@ -135,14 +189,80 @@ class QSCaQR:
                 best_pair = pair
         return best_pair
 
-    def _point(self, circuit: QuantumCircuit, pairs: List[ReusePair], feasible: bool = True) -> QSCaQRResult:
-        return QSCaQRResult(
+    def _best_pair_session(
+        self, session: ReuseSession, scorer: PairScorer
+    ) -> Optional[ReusePair]:
+        """Incremental replica of :meth:`best_pair` on the live session."""
+        candidates = session.valid_pairs()
+        if not candidates:
+            return None
+        with self.stats.timed("score"):
+            costs = scorer.score_all(
+                session.dag, candidates, nodes_by_qubit=session.nodes_by_label()
+            )
+
+        def _cost(pair: ReusePair):
+            return (costs[pair], pair.source, pair.target)
+
+        ranked = sorted(candidates, key=_cost)
+        if self.lookahead_width is not None:
+            ranked = ranked[: max(1, self.lookahead_width)]
+        with self.stats.timed("lookahead"):
+            potentials = session.reuse_potentials(ranked)
+        best_pair: Optional[ReusePair] = None
+        best_key = None
+        for pair in ranked:
+            key = (-potentials[pair], _cost(pair))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_pair = pair
+        return best_pair
+
+    def _point(
+        self,
+        circuit: QuantumCircuit,
+        pairs: List[ReusePair],
+        feasible: bool = True,
+    ) -> QSCaQRResult:
+        result = QSCaQRResult(
             circuit=circuit,
             qubits=circuit.num_qubits,
             depth=circuit.depth(),
-            duration_dt=circuit_duration_dt(circuit),
             pairs=list(pairs),
             feasible=feasible,
+        )
+        # only the duration objective pays for scheduling at sweep time;
+        # depth sweeps defer it to first access (see QSCaQRResult)
+        if self.objective == "duration":
+            result.duration_dt_cached = circuit_duration_dt(circuit)
+        return result
+
+    # -- engine plumbing --------------------------------------------------------
+
+    def _session(self, circuit: QuantumCircuit) -> ReuseSession:
+        kwargs = {}
+        if self.parallel_threshold is not None:
+            kwargs["parallel_threshold"] = self.parallel_threshold
+        return ReuseSession(
+            circuit,
+            reset_style=self.reset_style,
+            parallel=self.parallel,
+            max_workers=self.max_workers,
+            stats=self.stats,
+            **kwargs,
+        )
+
+    def _scorer(self) -> PairScorer:
+        kwargs = {}
+        if self.parallel_threshold is not None:
+            kwargs["parallel_threshold"] = self.parallel_threshold
+        return PairScorer(
+            objective=self.objective,
+            reset_style=self.reset_style,
+            parallel=self.parallel,
+            max_workers=self.max_workers,
+            stats=self.stats,
+            **kwargs,
         )
 
     # -- public API -------------------------------------------------------------
@@ -153,6 +273,23 @@ class QSCaQR:
         Returns one result per width; the first entry is the untouched
         input, the last is the maximal-reuse circuit.
         """
+        if not self.incremental:
+            return self._sweep_reference(circuit, min_qubits)
+        points = [self._point(circuit, [])]
+        with self._session(circuit) as session, self._scorer() as scorer:
+            while session.num_qubits > min_qubits:
+                pair = self._best_pair_session(session, scorer)
+                if pair is None:
+                    break
+                with self.stats.timed("apply"):
+                    session.apply(pair)
+                scorer.invalidate()
+                points.append(self._point(session.circuit, session.pairs))
+        return points
+
+    def _sweep_reference(
+        self, circuit: QuantumCircuit, min_qubits: int = 1
+    ) -> List[QSCaQRResult]:
         points = [self._point(circuit, [])]
         current = circuit
         pairs: List[ReusePair] = []
@@ -182,6 +319,21 @@ class QSCaQR:
             raise ReuseError("qubit limit must be positive")
         if circuit.num_qubits <= qubit_limit:
             return self._point(circuit, [])
+        if not self.incremental:
+            return self._reduce_to_reference(circuit, qubit_limit)
+        with self._session(circuit) as session, self._scorer() as scorer:
+            while session.num_qubits > qubit_limit:
+                pair = self._best_pair_session(session, scorer)
+                if pair is None:
+                    return self._point(session.circuit, session.pairs, feasible=False)
+                with self.stats.timed("apply"):
+                    session.apply(pair)
+                scorer.invalidate()
+            return self._point(session.circuit, session.pairs)
+
+    def _reduce_to_reference(
+        self, circuit: QuantumCircuit, qubit_limit: int
+    ) -> QSCaQRResult:
         current = circuit
         pairs: List[ReusePair] = []
         while current.num_qubits > qubit_limit:

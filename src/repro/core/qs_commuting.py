@@ -21,6 +21,7 @@ quantifies the difference.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -47,6 +48,10 @@ REUSE_GATE_WEIGHT = 4
 
 # above this edge count the driver switches from blossom to greedy matching
 GREEDY_MATCHING_THRESHOLD = 120
+
+# below this many (candidates x graph edges) the per-candidate scheduler
+# runs stay in-process: pool startup dwarfs the work for small graphs
+COMMUTING_PARALLEL_THRESHOLD = 20_000
 
 
 def minimum_qubits_by_coloring(graph: nx.Graph) -> int:
@@ -191,6 +196,25 @@ def schedule_commuting(
                 pending_source_gates[pair] -= 1
         _fire_ready(len(layers) - 1)
     return CommutingSchedule(layers, measure_after_layer)
+
+
+def _extension_cost_worker(payload):
+    """Process-pool entry point: cost of one chunk of candidate extensions.
+
+    Returns ``None`` for candidates whose pair set stalls the scheduler
+    (the commuting analogue of a Condition-2 cycle).
+    """
+    graph, pairs, candidates, matching = payload
+    costs: List[Optional[int]] = []
+    for candidate in candidates:
+        trial = pairs + [candidate]
+        try:
+            schedule = schedule_commuting(graph, trial, matching=matching)
+        except ReuseError:
+            costs.append(None)
+            continue
+        costs.append(schedule_depth_estimate(schedule, trial))
+    return costs
 
 
 def schedule_depth_estimate(
@@ -341,6 +365,13 @@ class QSCaQRCommuting:
         max_candidates: cap on (source, target) candidates examined per
             greedy step; low-degree qubits are preferred since they finish
             earliest (the paper's power-law observation).
+        parallel: fan per-candidate scheduler runs out to a process pool
+            when the step workload (candidates × edges) is large enough.
+        parallel_threshold: workload floor before fanning out (default
+            :data:`COMMUTING_PARALLEL_THRESHOLD`).
+        max_workers: pool size (default ``os.cpu_count()`` capped at 8).
+        stats: :class:`~repro.core.profile.ReuseEvalStats` sink (one is
+            created when omitted).
     """
 
     def __init__(
@@ -354,6 +385,10 @@ class QSCaQRCommuting:
         candidate_evaluation: str = "schedule",
         edge_angles: Optional[Dict[Tuple[int, int], float]] = None,
         mixer_angles: Optional[Dict[int, float]] = None,
+        parallel: bool = True,
+        parallel_threshold: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        stats=None,
     ):
         n = graph.number_of_nodes()
         if set(graph.nodes) != set(range(n)):
@@ -376,6 +411,41 @@ class QSCaQRCommuting:
         self.edge_angles = edge_angles
         self.mixer_angles = mixer_angles
         self.n = n
+        self.parallel = parallel
+        self.parallel_threshold = (
+            parallel_threshold
+            if parallel_threshold is not None
+            else COMMUTING_PARALLEL_THRESHOLD
+        )
+        self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
+        if stats is None:
+            # lazy import: repro.core.profile imports this module
+            from repro.core.profile import ReuseEvalStats
+
+            stats = ReuseEvalStats()
+        self.stats = stats
+        self._executor = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the candidate-scoring process pool, if one started."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "QSCaQRCommuting":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
 
     # -- helpers -----------------------------------------------------------------
 
@@ -463,24 +533,55 @@ class QSCaQRCommuting:
                     return out
         return out
 
+    def _extension_costs(
+        self, pairs: List[ReusePair], candidates: List[ReusePair]
+    ) -> List[Optional[int]]:
+        """Depth-estimate cost per candidate (None = infeasible/cyclic)."""
+        self.stats.count("evaluations", len(candidates))
+        workload = len(candidates) * max(1, self.graph.number_of_edges())
+        if (
+            self.parallel
+            and len(candidates) >= 2 * self.max_workers
+            and workload >= self.parallel_threshold
+        ):
+            self.stats.count("parallel_batches")
+            chunk = max(1, -(-len(candidates) // self.max_workers))
+            payloads = [
+                (self.graph, list(pairs), candidates[i : i + chunk], self.matching)
+                for i in range(0, len(candidates), chunk)
+            ]
+            costs: List[Optional[int]] = []
+            for part in self._pool().map(_extension_cost_worker, payloads):
+                costs.extend(part)
+            return costs
+        self.stats.count("serial_batches")
+        return _extension_cost_worker(
+            (self.graph, list(pairs), candidates, self.matching)
+        )
+
     def _best_extension(
         self, pairs: List[ReusePair]
     ) -> Optional[Tuple[ReusePair, CommutingSchedule]]:
         if self.candidate_evaluation == "degree":
             return self._best_extension_by_degree(pairs)
-        best: Optional[Tuple[ReusePair, CommutingSchedule, int]] = None
-        for candidate in self._candidates(pairs):
-            trial = pairs + [candidate]
-            try:
-                schedule = schedule_commuting(self.graph, trial, matching=self.matching)
-            except ReuseError:
-                continue  # cyclic pair set (Condition 2 analogue)
-            cost = schedule_depth_estimate(schedule, trial)
-            if best is None or cost < best[2]:
-                best = (candidate, schedule, cost)
-        if best is None:
+        candidates = self._candidates(pairs)
+        if not candidates:
             return None
-        return best[0], best[1]
+        with self.stats.timed("score"):
+            costs = self._extension_costs(pairs, candidates)
+        best_index: Optional[int] = None
+        for index, cost in enumerate(costs):
+            if cost is None:
+                continue
+            if best_index is None or cost < costs[best_index]:
+                best_index = index
+        if best_index is None:
+            return None
+        winner = candidates[best_index]
+        schedule = schedule_commuting(
+            self.graph, pairs + [winner], matching=self.matching
+        )
+        return winner, schedule
 
     def _best_extension_by_degree(
         self, pairs: List[ReusePair]
@@ -511,6 +612,7 @@ class QSCaQRCommuting:
             if extension is None:
                 break
             pairs.append(extension[0])
+            self.stats.count("steps")
             points.append(self._materialize(pairs))
         return points
 
@@ -527,6 +629,7 @@ class QSCaQRCommuting:
                 current.feasible = False
                 return current
             pairs.append(extension[0])
+            self.stats.count("steps")
             current = self._materialize(pairs)
         return current
 

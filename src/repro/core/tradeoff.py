@@ -65,13 +65,24 @@ def sweep_regular(
     objective: str = "depth",
     reset_style: str = "cif",
     seed: int = 11,
+    incremental: bool = True,
+    parallel: bool = True,
 ) -> List[TradeoffPoint]:
     """QS-CaQR sweep for a regular circuit, optionally hardware-mapped.
 
     Returns one point per achievable qubit count, original width first.
+    ``incremental``/``parallel`` select the evaluation engine (see
+    :class:`~repro.core.qs_caqr.QSCaQR`); both engines yield the same
+    points.
     """
+    compiler = QSCaQR(
+        objective=objective,
+        reset_style=reset_style,
+        incremental=incremental,
+        parallel=parallel,
+    )
     points: List[TradeoffPoint] = []
-    for result in QSCaQR(objective=objective, reset_style=reset_style).sweep(circuit):
+    for result in compiler.sweep(circuit):
         point = TradeoffPoint(
             qubits=result.qubits,
             logical_depth=result.depth,
@@ -94,6 +105,7 @@ def sweep_commuting(
     strategy: str = "greedy",
     gamma: Optional[float] = None,
     beta: Optional[float] = None,
+    parallel: bool = True,
 ) -> List[TradeoffPoint]:
     """QS-CaQR-commuting sweep for a QAOA problem graph.
 
@@ -110,6 +122,7 @@ def sweep_commuting(
         beta=beta if beta is not None else QAOA_DEFAULT_BETA,
         reset_style=reset_style,
         candidate_evaluation=candidate_evaluation,
+        parallel=parallel,
     )
     if strategy == "lifetime":
         results = compiler.lifetime_sweep()

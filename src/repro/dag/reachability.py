@@ -4,11 +4,17 @@ This powers Condition 2 of the paper: a reuse pair ``(q_i -> q_j)`` is
 valid only when no gate on ``q_i`` (transitively) depends on a gate on
 ``q_j``.  With bitsets the whole closure for *n* gates costs ``O(n^2 / w)``
 words, which is fast for the benchmark sizes the paper uses.
+
+For the greedy sweep the full closure is only computed once:
+:func:`update_masks_for_node` and :func:`update_masks_for_edge` patch an
+existing bitset cache when the reuse transformation inserts its
+measure/reset node ``D``, touching only the ancestors of the insertion
+point instead of re-deriving the whole closure.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.dag.dagcircuit import DAGCircuit
 
@@ -16,6 +22,8 @@ __all__ = [
     "descendants_bitsets",
     "reaches",
     "qubit_dependency_matrix",
+    "update_masks_for_edge",
+    "update_masks_for_node",
 ]
 
 
@@ -36,6 +44,61 @@ def descendants_bitsets(dag: DAGCircuit) -> Dict[int, int]:
 def reaches(masks: Dict[int, int], source: int, target: int) -> bool:
     """True when *target* is a (transitive) descendant of *source*."""
     return bool(masks[source] >> target & 1)
+
+
+def update_masks_for_edge(
+    dag: DAGCircuit, masks: Dict[int, int], source: int, target: int
+) -> Set[int]:
+    """Patch *masks* after the edge ``source -> target`` was added to *dag*.
+
+    Every (transitive) ancestor of *source* — and *source* itself — gains
+    *target* plus *target*'s descendants.  Only nodes whose mask actually
+    changes are visited, so a local insertion costs ``O(ancestors)`` word
+    operations instead of the full ``O(n^2 / w)`` closure.
+
+    Returns the set of node ids whose mask changed.
+    """
+    delta = masks[target] | (1 << target)
+    changed: Set[int] = set()
+    pending = [source]
+    while pending:
+        node_id = pending.pop()
+        mask = masks[node_id]
+        if mask | delta == mask:
+            continue
+        masks[node_id] = mask | delta
+        changed.add(node_id)
+        pending.extend(dag.predecessors(node_id))
+    return changed
+
+
+def update_masks_for_node(
+    dag: DAGCircuit, masks: Dict[int, int], node_id: int
+) -> Set[int]:
+    """Register a freshly inserted node (edges already attached) in *masks*.
+
+    This is the incremental path for CaQR's dummy/measure/reset node ``D``:
+    its mask is the union of its successors' closures, and the combined
+    delta is propagated to its ancestors in one upward sweep.
+
+    Returns the set of node ids whose mask changed (including *node_id*).
+    """
+    mask = 0
+    for successor in dag.successors(node_id):
+        mask |= masks[successor] | (1 << successor)
+    masks[node_id] = mask
+    delta = mask | (1 << node_id)
+    changed: Set[int] = {node_id}
+    pending = list(dag.predecessors(node_id))
+    while pending:
+        ancestor = pending.pop()
+        current = masks[ancestor]
+        if current | delta == current:
+            continue
+        masks[ancestor] = current | delta
+        changed.add(ancestor)
+        pending.extend(dag.predecessors(ancestor))
+    return changed
 
 
 def qubit_dependency_matrix(dag: DAGCircuit) -> Dict[Tuple[int, int], bool]:

@@ -62,3 +62,69 @@ class TestProfileCircuit:
         profile = profile_circuit(circuit)
         assert profile.num_qubits == 2
         assert profile.num_edges == 1
+
+
+class TestReuseEvalStats:
+    def _stats(self):
+        from repro.core.profile import ReuseEvalStats
+
+        return ReuseEvalStats()
+
+    def test_counters_accumulate(self):
+        stats = self._stats()
+        stats.count("evaluations")
+        stats.count("evaluations", 4)
+        stats.count("steps", 2)
+        assert stats.counters == {"evaluations": 5, "steps": 2}
+
+    def test_timed_context_accumulates(self):
+        stats = self._stats()
+        with stats.timed("score"):
+            pass
+        with stats.timed("score"):
+            pass
+        assert stats.timers["score"] >= 0.0
+        assert len(stats.timers) == 1
+
+    def test_timed_records_on_exception(self):
+        stats = self._stats()
+        with pytest.raises(ValueError):
+            with stats.timed("apply"):
+                raise ValueError("boom")
+        assert "apply" in stats.timers
+
+    def test_cache_hit_rate(self):
+        stats = self._stats()
+        assert stats.cache_hit_rate == 0.0
+        stats.count("evaluations", 3)
+        stats.count("cache_hits", 1)
+        assert stats.cache_hit_rate == pytest.approx(0.25)
+
+    def test_per_step_time(self):
+        stats = self._stats()
+        assert stats.per_step_time("score") == 0.0
+        stats.count("steps", 4)
+        stats.add_time("score", 2.0)
+        assert stats.per_step_time("score") == pytest.approx(0.5)
+
+    def test_merge_and_reset(self):
+        a = self._stats()
+        b = self._stats()
+        a.count("steps")
+        a.add_time("score", 1.0)
+        b.count("steps", 2)
+        b.add_time("score", 0.5)
+        a.merge(b)
+        assert a.counters["steps"] == 3
+        assert a.timers["score"] == pytest.approx(1.5)
+        a.reset()
+        assert a.counters == {} and a.timers == {}
+
+    def test_summary_mentions_everything(self):
+        stats = self._stats()
+        stats.count("evaluations", 2)
+        stats.add_time("score", 0.25)
+        text = stats.summary()
+        assert "evaluations=2" in text
+        assert "hit_rate=" in text
+        assert "score_s=0.250" in text

@@ -133,3 +133,68 @@ class TestDurationObjective:
         cif = QSCaQR(reset_style="cif").reduce_to(bv_circuit(5), 2)
         builtin = QSCaQR(reset_style="builtin").reduce_to(bv_circuit(5), 2)
         assert builtin.duration_dt > cif.duration_dt
+
+
+class TestLazyDuration:
+    """Depth-objective sweeps must not pay for duration scheduling."""
+
+    def _counting(self, monkeypatch):
+        import repro.core.qs_caqr as mod
+
+        calls = {"n": 0}
+        real = mod.circuit_duration_dt
+
+        def counted(circuit):
+            calls["n"] += 1
+            return real(circuit)
+
+        monkeypatch.setattr(mod, "circuit_duration_dt", counted)
+        return calls
+
+    def test_depth_sweep_never_schedules(self, monkeypatch):
+        calls = self._counting(monkeypatch)
+        points = QSCaQR(objective="depth").sweep(bv_circuit(5))
+        assert calls["n"] == 0
+        # first access computes (and caches) it lazily
+        value = points[-1].duration_dt
+        assert calls["n"] == 1 and value > 0
+        assert points[-1].duration_dt == value
+        assert calls["n"] == 1
+
+    def test_depth_reference_engine_never_schedules(self, monkeypatch):
+        calls = self._counting(monkeypatch)
+        QSCaQR(objective="depth", incremental=False).sweep(bv_circuit(5))
+        assert calls["n"] == 0
+
+    def test_duration_sweep_schedules_eagerly(self, monkeypatch):
+        calls = self._counting(monkeypatch)
+        points = QSCaQR(objective="duration").sweep(bv_circuit(5))
+        assert calls["n"] == len(points)
+        before = calls["n"]
+        assert all(p.duration_dt > 0 for p in points)
+        assert calls["n"] == before  # already cached
+
+    def test_lazy_value_matches_eager(self):
+        depth_points = QSCaQR(objective="depth").sweep(bv_circuit(5))
+        duration_points = QSCaQR(objective="duration").sweep(bv_circuit(5))
+        by_width = {p.qubits: p.duration_dt for p in duration_points}
+        for point in depth_points:
+            if point.qubits in by_width and point.pairs == []:
+                assert point.duration_dt == by_width[point.qubits]
+
+
+class TestEngineKnobs:
+    def test_stats_populated_by_incremental_sweep(self):
+        compiler = QSCaQR()
+        compiler.sweep(bv_circuit(5))
+        counters = compiler.stats.counters
+        assert counters["steps"] == 3
+        assert counters["evaluations"] > 0
+        assert counters["mask_updates"] > 0
+        assert compiler.stats.timers["score"] >= 0.0
+        assert compiler.stats.timers["lookahead"] >= 0.0
+        assert compiler.stats.timers["apply"] >= 0.0
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ReuseError):
+            QSCaQR(objective="fidelity")
