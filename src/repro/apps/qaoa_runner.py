@@ -128,6 +128,7 @@ def run_qaoa(
     initial_gamma: float = 0.8,
     initial_beta: float = 0.4,
     seed: int = 23,
+    engine: str = "auto",
 ) -> QAOATrace:
     """Optimise (gamma, beta) with COBYLA; return the convergence trace.
 
@@ -137,6 +138,8 @@ def run_qaoa(
         noise: default noise model for factories returning bare circuits.
         shots: samples per objective evaluation.
         max_iterations: COBYLA iteration budget (the paper's x-axis).
+        engine: simulation engine for the objective evaluations (see
+            :func:`~repro.sim.statevector.run_counts`).
     """
     if graph.number_of_nodes() < 2:
         raise WorkloadError("QAOA needs at least 2 vertices")
@@ -150,7 +153,11 @@ def run_qaoa(
         else:
             circuit, model = built, noise
         counts = run_counts(
-            circuit, shots=shots, seed=seed + trace.evaluations, noise=model
+            circuit,
+            shots=shots,
+            seed=seed + trace.evaluations,
+            noise=model,
+            engine=engine,
         )
         energy = -expected_cut_from_counts(graph, counts)
         trace.energies.append(energy)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -269,12 +270,13 @@ def gate_spec(name: str) -> GateSpec:
         raise CircuitError(f"unknown gate: {name!r}") from None
 
 
-def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
-    """Return the unitary matrix of gate *name* with *params* bound.
+@lru_cache(maxsize=4096)
+def _cached_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
+    """Build (once) and freeze the matrix for a (gate, params) binding.
 
-    Raises:
-        CircuitError: if the gate is unknown, non-unitary, or the parameter
-            count does not match.
+    The returned array is shared between every call site, so it is marked
+    read-only — simulators and the transpiler only read or matmul it, and
+    an accidental in-place mutation would otherwise poison the cache.
     """
     spec = gate_spec(name)
     if spec.matrix_fn is None:
@@ -283,7 +285,34 @@ def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
         raise CircuitError(
             f"gate {name!r} expects {spec.num_params} params, got {len(params)}"
         )
-    return spec.matrix_fn(*params)
+    matrix = spec.matrix_fn(*params)
+    matrix.setflags(write=False)
+    return matrix
+
+
+def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Return the unitary matrix of gate *name* with *params* bound.
+
+    Matrices are memoised per ``(name, params)`` and returned as
+    read-only arrays — copy before mutating.
+
+    Raises:
+        CircuitError: if the gate is unknown, non-unitary, or the parameter
+            count does not match.
+    """
+    try:
+        return _cached_matrix(name, tuple(params))
+    except TypeError:
+        # unhashable params (never produced by Instruction, which stores
+        # tuples) fall back to an uncached build
+        spec = gate_spec(name)
+        if spec.matrix_fn is None:
+            raise CircuitError(f"gate {name!r} has no unitary matrix")
+        if len(params) != spec.num_params:
+            raise CircuitError(
+                f"gate {name!r} expects {spec.num_params} params, got {len(params)}"
+            )
+        return spec.matrix_fn(*params)
 
 
 def default_duration(name: str) -> int:

@@ -38,6 +38,7 @@ def run_physical_counts(
     seed: Optional[int] = None,
     relaxation: bool = True,
     noise: Optional[NoiseModel] = None,
+    engine: str = "auto",
 ) -> Counter:
     """Noisy counts for a physical circuit compiled for *backend*.
 
@@ -46,10 +47,17 @@ def run_physical_counts(
         backend: provides the noise model (unless *noise* overrides it).
         relaxation: include T1/T2 decay over busy + idle time.
         noise: pre-built noise model in *device* indexing (remapped here).
+        engine: simulation engine (see
+            :func:`~repro.sim.statevector.run_counts`); with relaxation
+            enabled, ``"auto"`` resolves to the reference loop.
     """
     used = circuit.used_qubits()
     mapping = {q: i for i, q in enumerate(used)}
     model = noise or NoiseModel.from_backend(backend, relaxation=relaxation)
     return run_counts(
-        circuit.compacted(), shots=shots, seed=seed, noise=model.remapped(mapping)
+        circuit.compacted(),
+        shots=shots,
+        seed=seed,
+        noise=model.remapped(mapping),
+        engine=engine,
     )

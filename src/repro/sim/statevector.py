@@ -6,6 +6,18 @@ Executes mid-circuit measurement, reset, and classically conditioned gates
 per-qubit wire clock), in which case every shot is an independent quantum
 trajectory.
 
+:func:`run_counts` fronts three engines (see ``docs/SIMULATOR.md``):
+
+* ``"reference"`` — the original per-shot trajectory loop in this module,
+  kept bit-for-bit stable for fixed seeds;
+* ``"branchtree"`` — :mod:`repro.sim.branchtree`, which evolves each
+  distinct measurement history once (noiseless dynamic circuits);
+* ``"batch"`` — :mod:`repro.sim.batch`, which vectorises shots as a
+  leading batch axis (noisy runs without T1/T2 relaxation).
+
+``engine="auto"`` (the default) routes to the fastest engine that matches
+the reference semantics for the given circuit and noise model.
+
 Bit-ordering conventions (documented, deliberate):
 
 * basis index bit of qubit ``q`` is the ``q``-th *most significant* bit of
@@ -25,10 +37,27 @@ import numpy as np
 
 from repro.circuit import gates
 from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.instruction import Instruction
 from repro.exceptions import SimulationError
 from repro.sim.noise import NoiseModel
+from repro.sim.stats import SimStats
 
-__all__ = ["Statevector", "run_counts", "final_statevector"]
+__all__ = [
+    "Statevector",
+    "run_counts",
+    "final_statevector",
+    "ENGINES",
+    "classify_instruction",
+    "condition_blocks",
+    "OP_SKIP",
+    "OP_DELAY",
+    "OP_MEASURE",
+    "OP_RESET",
+    "OP_UNITARY",
+]
+
+# the engines run_counts can route to; "auto" picks per circuit/noise
+ENGINES = ("auto", "reference", "branchtree", "batch")
 
 _PAULIS = {
     "I": np.eye(2, dtype=np.complex128),
@@ -40,6 +69,43 @@ _PAULI_1Q = ["X", "Y", "Z"]
 _PAULI_2Q = [
     a + b for a in "IXYZ" for b in "IXYZ" if a + b != "II"
 ]
+
+# -- shared instruction dispatch ------------------------------------------------
+#
+# Every interpreter over circuit.data (the trajectory loop, the terminal
+# sampler, final_statevector, and the branch-tree / batch engines) must
+# agree on what each instruction *is* and on when a classical condition
+# blocks it.  Centralising both decisions here keeps the interpreters from
+# drifting (e.g. one skipping delays while another treats them as gates).
+
+OP_SKIP = "skip"  # directives: barrier — ordering only, no simulation effect
+OP_DELAY = "delay"  # idle time: advances the wire clock, no state change
+OP_MEASURE = "measure"
+OP_RESET = "reset"
+OP_UNITARY = "unitary"
+
+
+def classify_instruction(instruction: Instruction) -> str:
+    """Map an instruction onto the simulator's operation kinds."""
+    if instruction.is_directive():
+        return OP_SKIP
+    name = instruction.name
+    if name == "measure":
+        return OP_MEASURE
+    if name == "reset":
+        return OP_RESET
+    if name == "delay":
+        return OP_DELAY
+    return OP_UNITARY
+
+
+def condition_blocks(instruction: Instruction, clbits: Sequence[int]) -> bool:
+    """True when *instruction*'s classical condition forbids executing it."""
+    condition = instruction.condition
+    if condition is None:
+        return False
+    clbit, value = condition
+    return clbits[clbit] != value
 
 
 class Statevector:
@@ -195,14 +261,13 @@ def _run_trajectory(
             wall[q] = start + duration
 
     for instruction in circuit.data:
-        if instruction.is_directive():
+        kind = classify_instruction(instruction)
+        if kind == OP_SKIP:
             continue
         duration = float(instruction.duration_dt())
-        if instruction.condition is not None:
-            clbit, value = instruction.condition
-            if clbits[clbit] != value:
-                continue
-        if instruction.name == "measure":
+        if condition_blocks(instruction, clbits):
+            continue
+        if kind == OP_MEASURE:
             qubit = instruction.qubits[0]
             _advance(instruction.qubits, duration)
             outcome = state.measure(qubit, rng)
@@ -212,11 +277,11 @@ def _run_trajectory(
                     outcome = 1 - outcome
             clbits[instruction.clbits[0]] = outcome
             continue
-        if instruction.name == "reset":
+        if kind == OP_RESET:
             _advance(instruction.qubits, duration)
             state.reset(instruction.qubits[0], rng)
             continue
-        if instruction.name == "delay":
+        if kind == OP_DELAY:
             _advance(instruction.qubits, float(instruction.params[0]))
             continue
         matrix = gates.gate_matrix(instruction.name, instruction.params)
@@ -255,13 +320,21 @@ def _fast_path_allowed(circuit: QuantumCircuit, noise: Optional[NoiseModel]) -> 
 def _sample_terminal(
     circuit: QuantumCircuit, shots: int, rng: random.Random
 ) -> Counter:
-    """Noiseless fast path: evolve once, sample the terminal distribution."""
+    """Noiseless fast path: evolve once, sample the terminal distribution.
+
+    Sampling uses cumulative probabilities + ``np.searchsorted`` rather
+    than ``random.choices`` over ``range(2**n)`` — materialising that range
+    is 67M entries at the 26-qubit cap.  The draws and the bisection match
+    ``random.choices`` exactly (same accumulate/bisect-right arithmetic),
+    so seeded results are unchanged.
+    """
     state = Statevector(circuit.num_qubits)
     measurements: List[Tuple[int, int]] = []
     for instruction in circuit.data:
-        if instruction.is_directive() or instruction.name == "delay":
+        kind = classify_instruction(instruction)
+        if kind in (OP_SKIP, OP_DELAY):
             continue
-        if instruction.name == "measure":
+        if kind == OP_MEASURE:
             measurements.append((instruction.qubits[0], instruction.clbits[0]))
             continue
         state.apply_matrix(
@@ -269,15 +342,53 @@ def _sample_terminal(
             instruction.qubits,
         )
     probabilities = state.probabilities()
-    indices = rng.choices(range(len(probabilities)), weights=probabilities, k=shots)
+    cumulative = np.cumsum(probabilities)
+    total = cumulative[-1] + 0.0
+    draws = np.array([rng.random() for _ in range(shots)], dtype=np.float64)
+    indices = np.minimum(
+        np.searchsorted(cumulative, draws * total, side="right"),
+        len(cumulative) - 1,
+    )
     counts: Counter = Counter()
     n = circuit.num_qubits
+    key_cache: Dict[int, str] = {}
     for index in indices:
-        clbits = [0] * circuit.num_clbits
-        for qubit, clbit in measurements:
-            clbits[clbit] = (index >> (n - 1 - qubit)) & 1
-        counts["".join(map(str, clbits))] += 1
+        index = int(index)
+        key = key_cache.get(index)
+        if key is None:
+            clbits = [0] * circuit.num_clbits
+            for qubit, clbit in measurements:
+                clbits[clbit] = (index >> (n - 1 - qubit)) & 1
+            key = "".join(map(str, clbits))
+            key_cache[index] = key
+        counts[key] += 1
     return counts
+
+
+def _resolve_engine(
+    circuit: QuantumCircuit, noise: Optional[NoiseModel], engine: str
+) -> str:
+    """Pick the concrete engine for ``engine="auto"`` (validated elsewhere).
+
+    Routing rules (each engine matches the reference semantics on its
+    domain — see ``docs/SIMULATOR.md``):
+
+    * no dynamic operations, no noise → the reference terminal sampler
+      (one evolution, direct distribution sampling — already optimal);
+    * noiseless (or trivially-noisy) dynamic circuit → branch tree;
+    * noise without T1/T2 relaxation → batched trajectories;
+    * relaxation enabled → reference loop (the per-shot wire clock is
+      outcome-dependent and does not vectorise).
+    """
+    if engine != "auto":
+        return engine
+    if _fast_path_allowed(circuit, noise):
+        return "reference"
+    if noise is None or noise.is_trivial():
+        return "branchtree"
+    if not noise.relaxation_enabled:
+        return "batch"
+    return "reference"
 
 
 def run_counts(
@@ -285,20 +396,61 @@ def run_counts(
     shots: int = 1024,
     seed: Optional[int] = None,
     noise: Optional[NoiseModel] = None,
+    engine: str = "auto",
+    stats: Optional[SimStats] = None,
 ) -> Counter:
     """Execute *circuit* for *shots* and return classical-bit counts.
 
-    Keys are classical bitstrings with clbit 0 leftmost.  With *noise*
-    given (or any dynamic operation present) each shot is an independent
-    trajectory; otherwise a single evolution is sampled.
+    Keys are classical bitstrings with clbit 0 leftmost.
+
+    Args:
+        engine: one of :data:`ENGINES`.  ``"auto"`` (default) picks the
+            fastest engine whose semantics match the reference for this
+            circuit/noise combination; ``"reference"`` forces the original
+            per-shot trajectory loop (bit-for-bit stable for fixed seeds);
+            ``"branchtree"`` requires a noiseless (or trivially-noisy) run
+            and produces seeded counts identical to the reference;
+            ``"batch"`` requires a noise model without T1/T2 relaxation.
+        stats: optional :class:`~repro.sim.stats.SimStats` sink for engine
+            counters and per-phase timers.
     """
     if shots <= 0:
         raise SimulationError("shots must be positive")
     if circuit.num_clbits == 0:
         raise SimulationError("circuit has no classical bits to sample")
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    resolved = _resolve_engine(circuit, noise, engine)
+    if resolved == "branchtree":
+        if noise is not None and not noise.is_trivial():
+            raise SimulationError(
+                "the branch-tree engine is noiseless; use engine='batch' "
+                "or engine='reference' for noisy runs"
+            )
+        from repro.sim.branchtree import run_branch_counts
+
+        return run_branch_counts(circuit, shots, seed=seed, stats=stats)
+    if resolved == "batch":
+        if noise is not None and noise.relaxation_enabled:
+            raise SimulationError(
+                "the batch engine does not support T1/T2 relaxation; use "
+                "engine='reference'"
+            )
+        from repro.sim.batch import run_batched_counts
+
+        return run_batched_counts(
+            circuit, shots, seed=seed, noise=noise, stats=stats
+        )
+    # reference: the original path, bit-for-bit
     rng = random.Random(seed)
     if _fast_path_allowed(circuit, noise):
+        if stats is not None:
+            stats.count("terminal_shots", shots)
         return _sample_terminal(circuit, shots, rng)
+    if stats is not None:
+        stats.count("reference_shots", shots)
     counts: Counter = Counter()
     for _ in range(shots):
         clbits = _run_trajectory(circuit, noise, rng)
@@ -312,15 +464,14 @@ def final_statevector(circuit: QuantumCircuit, seed: Optional[int] = None) -> np
     state = Statevector(circuit.num_qubits)
     clbits = [0] * max(circuit.num_clbits, 1)
     for instruction in circuit.data:
-        if instruction.is_directive() or instruction.name == "delay":
+        kind = classify_instruction(instruction)
+        if kind in (OP_SKIP, OP_DELAY):
             continue
-        if instruction.condition is not None:
-            clbit, value = instruction.condition
-            if clbits[clbit] != value:
-                continue
-        if instruction.name == "measure":
+        if condition_blocks(instruction, clbits):
+            continue
+        if kind == OP_MEASURE:
             clbits[instruction.clbits[0]] = state.measure(instruction.qubits[0], rng)
-        elif instruction.name == "reset":
+        elif kind == OP_RESET:
             state.reset(instruction.qubits[0], rng)
         else:
             state.apply_matrix(

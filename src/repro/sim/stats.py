@@ -1,0 +1,105 @@
+"""Runtime counters, gauges, and wall-time buckets for the simulation engines.
+
+:class:`SimStats` follows the :class:`repro.core.profile.ReuseEvalStats`
+pattern: engines report into an optional sink, benchmarks read it back to
+print cache hit-rates, branch counts, and per-phase time.  It lives in the
+sim layer (rather than reusing the core-layer class) so the simulator does
+not grow a dependency on the compiler stack.
+
+Counter names the engines use:
+
+* ``branches_expanded`` — branch-tree nodes materialised (one statevector
+  evolution segment each);
+* ``suffix_cache_hits`` / ``suffix_cache_misses`` — branch-tree suffix
+  states shared across measurement histories vs. freshly evolved;
+* ``cap_fallback_shots`` — shots finished by direct per-shot evolution
+  because the branch tree hit its node/memory cap;
+* ``tree_shots`` / ``batch_shots`` / ``reference_shots`` /
+  ``terminal_shots`` — shots routed to each engine;
+* ``fused_gates`` — single-qubit gates folded into a neighbour by the
+  batch engine's fusion pre-pass;
+* ``batch_shards`` — shot shards executed by the batch engine;
+* ``parallel_batches`` / ``serial_batches`` — shard sets fanned out to
+  the process pool vs. run in-process.
+
+Gauges (floats, ``values``): ``dropped_mass`` — total probability mass
+discarded by branch-tree pruning; ``tree_nodes`` — final node count;
+``batch_amplitude_bytes`` — peak amplitude-array footprint of one shard.
+
+Time buckets (seconds): ``prefix``, ``expand``, ``walk`` (branch tree);
+``compile``, ``execute`` (batch engine).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["SimStats"]
+
+
+@dataclass
+class SimStats:
+    """Counter/gauge/timer sink for one simulation run (or many, merged)."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    timers: Dict[str, float] = field(default_factory=dict)
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add *seconds* to wall-time bucket *name*."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def add_value(self, name: str, amount: float) -> None:
+        """Accumulate *amount* into gauge *name* (e.g. dropped mass)."""
+        self.values[name] = self.values.get(name, 0.0) + amount
+
+    def set_value(self, name: str, value: float) -> None:
+        """Overwrite gauge *name* (e.g. final tree size)."""
+        self.values[name] = value
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Context manager timing its block into bucket *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    @property
+    def suffix_hit_rate(self) -> float:
+        """Fraction of branch expansions served from the suffix cache."""
+        hits = self.counters.get("suffix_cache_hits", 0)
+        total = hits + self.counters.get("suffix_cache_misses", 0)
+        return hits / total if total else 0.0
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold *other*'s counters, gauges, and timers into this instance."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.timers.items():
+            self.add_time(name, value)
+        for name, value in other.values.items():
+            self.add_value(name, value)
+
+    def reset(self) -> None:
+        """Zero all counters, gauges, and timers."""
+        self.counters.clear()
+        self.timers.clear()
+        self.values.clear()
+
+    def summary(self) -> str:
+        """One-line report for benchmark output."""
+        parts = [f"{name}={self.counters[name]}" for name in sorted(self.counters)]
+        parts.extend(f"{name}={self.values[name]:g}" for name in sorted(self.values))
+        parts.extend(
+            f"{name}_s={self.timers[name]:.3f}" for name in sorted(self.timers)
+        )
+        return ", ".join(parts)

@@ -37,17 +37,24 @@ def distributions_tvd(
     shots: int = 4000,
     seed: int = 17,
     noise: Optional[NoiseModel] = None,
+    engine: str = "auto",
 ) -> float:
     """Sampled TVD between two circuits' output distributions.
 
     Args:
         width: classical bits to compare (default: the smaller clbit count
             of the two circuits — reuse may have appended garbage bits).
+        engine: simulation engine for both circuits (see
+            :func:`~repro.sim.statevector.run_counts`).
     """
     if width is None:
         width = min(circuit_a.num_clbits, circuit_b.num_clbits)
-    counts_a = marginal_counts(run_counts(circuit_a, shots, seed, noise), width)
-    counts_b = marginal_counts(run_counts(circuit_b, shots, seed, noise), width)
+    counts_a = marginal_counts(
+        run_counts(circuit_a, shots, seed, noise, engine=engine), width
+    )
+    counts_b = marginal_counts(
+        run_counts(circuit_b, shots, seed, noise, engine=engine), width
+    )
     return total_variation_distance(counts_a, counts_b)
 
 
@@ -58,13 +65,16 @@ def assert_equivalent(
     shots: int = 4000,
     seed: int = 17,
     tolerance: float = 0.05,
+    engine: str = "auto",
 ) -> None:
     """Raise :class:`SimulationError` when the circuits' distributions differ.
 
     The tolerance should comfortably exceed the sampling noise floor
     (~``sqrt(k / shots)`` for k populated outcomes).
     """
-    tvd = distributions_tvd(circuit_a, circuit_b, width=width, shots=shots, seed=seed)
+    tvd = distributions_tvd(
+        circuit_a, circuit_b, width=width, shots=shots, seed=seed, engine=engine
+    )
     if tvd > tolerance:
         raise SimulationError(
             f"circuits are not equivalent: sampled TVD {tvd:.4f} "

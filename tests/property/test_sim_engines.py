@@ -1,0 +1,110 @@
+"""Differential harness for the simulation engines.
+
+Mirrors :mod:`tests.property.test_equivalence_diff` for the sim layer:
+seeded random *dynamic* circuits (mid-circuit measurement, reset, and
+classically conditioned gates — the operations qubit reuse emits) are run
+through every engine, and
+
+* noiseless seeded counts must match the reference loop **bit-for-bit**
+  for the branch-tree and batched engines, and
+* noisy batched runs must stay within TVD < 0.02 of the reference at
+  8192 shots (nightly, ``-m slow``).
+
+Failures print the generator seed so a divergence replays in isolation.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.sim import NoiseModel, run_counts
+from repro.sim.metrics import normalize_counts
+
+ENGINE_SAMPLES = int(os.environ.get("CAQR_ENGINE_SAMPLES", "25"))
+
+_ONE_QUBIT = ["h", "x", "y", "z", "s", "t", "sx"]
+_ROTATIONS = ["rx", "ry", "rz"]
+
+
+def dynamic_random_circuit(seed: int) -> QuantumCircuit:
+    """Random dynamic circuit: 2-4 qubits, mid-circuit measure/reset and
+    conditioned gates, measures/resets always unconditioned (so every
+    engine's exactness contract applies)."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    num_clbits = rng.randint(2, 4)
+    circuit = QuantumCircuit(num_qubits, num_clbits)
+    measured = []
+    for _ in range(rng.randint(8, 18)):
+        roll = rng.random()
+        qubit = rng.randrange(num_qubits)
+        if roll < 0.40:
+            getattr(circuit, rng.choice(_ONE_QUBIT))(qubit)
+        elif roll < 0.55:
+            getattr(circuit, rng.choice(_ROTATIONS))(
+                rng.uniform(0, 3.1), qubit
+            )
+        elif roll < 0.70 and num_qubits > 1:
+            other = rng.choice([q for q in range(num_qubits) if q != qubit])
+            rng.choice([circuit.cx, circuit.cz])(qubit, other)
+        elif roll < 0.80:
+            circuit.measure(qubit, rng.randrange(num_clbits))
+            measured.append(qubit)
+        elif roll < 0.88:
+            circuit.reset(qubit)
+        elif measured:
+            clbit = rng.randrange(num_clbits)
+            circuit.x(qubit).c_if(clbit, rng.randint(0, 1))
+    # every circuit ends measured so the counts are meaningful
+    for qubit in range(min(num_qubits, num_clbits)):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+@pytest.mark.parametrize("seed", range(ENGINE_SAMPLES))
+def test_noiseless_engines_bit_identical(seed):
+    circuit = dynamic_random_circuit(seed)
+    reference = run_counts(circuit, shots=400, seed=seed, engine="reference")
+    for engine in ("branchtree", "batch"):
+        counts = run_counts(circuit, shots=400, seed=seed, engine=engine)
+        assert counts == reference, (
+            f"engine {engine} diverged from reference (seed={seed})"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [2, 5, 10, 19])
+def test_noisy_batch_tvd(seed):
+    """Nightly: batched noisy sampling vs. the reference loop at 8192
+    shots.  0.02 comfortably exceeds the two-sample noise floor for these
+    few-outcome circuits."""
+    circuit = dynamic_random_circuit(seed)
+    noise = NoiseModel.uniform(
+        one_qubit_error=0.005, two_qubit_error=0.02, readout=0.02
+    )
+    reference = run_counts(
+        circuit, shots=8192, seed=seed, noise=noise, engine="reference"
+    )
+    batched = run_counts(
+        circuit, shots=8192, seed=seed, noise=noise, engine="batch"
+    )
+    pa, pb = normalize_counts(reference), normalize_counts(batched)
+    tvd = 0.5 * sum(
+        abs(pa.get(k, 0.0) - pb.get(k, 0.0)) for k in set(pa) | set(pb)
+    )
+    assert tvd < 0.02, f"noisy TVD {tvd:.4f} at seed={seed}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(ENGINE_SAMPLES, ENGINE_SAMPLES + 15))
+def test_noiseless_engines_bit_identical_extended(seed):
+    """Nightly-only extension of the seed pool past the fast split."""
+    circuit = dynamic_random_circuit(seed)
+    reference = run_counts(circuit, shots=400, seed=seed, engine="reference")
+    for engine in ("branchtree", "batch"):
+        counts = run_counts(circuit, shots=400, seed=seed, engine=engine)
+        assert counts == reference, (
+            f"engine {engine} diverged from reference (seed={seed})"
+        )
