@@ -29,6 +29,7 @@ from repro.core.tradeoff import (
 from repro.exceptions import ReuseError
 from repro.hardware.backends import Backend
 from repro.transpiler.pipeline import transpile
+from repro.transpiler.stats import RouteStats
 
 __all__ = ["CompileReport", "caqr_compile"]
 
@@ -46,6 +47,8 @@ class CompileReport:
             (present when a backend was given).
         reuse_beneficial: the benefit identifier's verdict.
         qubit_saving: fraction of qubits saved vs. the input.
+        route_stats: the SR router's counter/timer sink (``"min_swap"``
+            mode only; ``None`` otherwise).
     """
 
     circuit: QuantumCircuit
@@ -54,6 +57,7 @@ class CompileReport:
     baseline_metrics: Optional[CircuitMetrics]
     reuse_beneficial: bool
     qubit_saving: float
+    route_stats: Optional[RouteStats] = None
 
 
 def caqr_compile(
@@ -112,17 +116,33 @@ def caqr_compile(
     if mode == "min_swap":
         if backend is None:
             raise ReuseError("min_swap mode needs a backend")
+        # caqr_compile's ``parallel`` means "allow": map it onto the SR
+        # router's tri-state knob (None = auto-detect, False = serial)
+        sr_parallel = None if parallel else False
         if is_graph:
             sr_kwargs = {}
             if angles is not None:
                 sr_kwargs = {"gamma": angles[0], "beta": angles[1]}
-            result = SRCaQRCommuting(
-                backend, reset_style=reset_style, **sr_kwargs
-            ).run(target, qubit_limit=qubit_limit)
+            sr = SRCaQRCommuting(
+                backend,
+                reset_style=reset_style,
+                incremental=incremental,
+                parallel=sr_parallel,
+                **sr_kwargs,
+            )
+            result = sr.run(target, qubit_limit=qubit_limit)
             compiled = result.circuit
+            route_stats = sr.stats
             original_width = target.number_of_nodes()
         else:
-            compiled = SRCaQR(backend, reset_style=reset_style).run(target).circuit
+            sr = SRCaQR(
+                backend,
+                reset_style=reset_style,
+                incremental=incremental,
+                parallel=sr_parallel,
+            )
+            compiled = sr.run(target).circuit
+            route_stats = sr.stats
             original_width = target.num_qubits
         baseline = _baseline_metrics(target, backend, seed, angles)
         sweep = _sweep(target, None, reset_style, seed,
@@ -137,6 +157,7 @@ def caqr_compile(
             baseline_metrics=baseline,
             reuse_beneficial=assess_reuse_benefit(sweep).beneficial,
             qubit_saving=1.0 - metrics.qubits_used / original_width,
+            route_stats=route_stats,
         )
 
     if mode == "qubit_budget":

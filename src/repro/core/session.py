@@ -29,9 +29,12 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.instruction import Instruction
 from repro.core.conditions import ReusePair
+from repro.core.matching import max_bipartite_matching_size
 from repro.core.profile import ReuseEvalStats
 from repro.core.transform import REUSE_LABEL, apply_reuse_pair
 from repro.dag.dagcircuit import DAGCircuit, _wires
@@ -42,6 +45,19 @@ __all__ = ["ReuseSession", "POTENTIAL_WORKLOAD_THRESHOLD"]
 
 # below (candidates x labels^2) the lookahead stays in-process
 POTENTIAL_WORKLOAD_THRESHOLD = 200_000
+
+
+def _lookahead_kernel() -> str:
+    """Which lookahead kernel to run: ``"bitset"`` (default) or ``"nx"``.
+
+    ``CAQR_LOOKAHEAD_KERNEL=nx`` selects the original networkx-based
+    reference kernel; anything else (including unset) selects the
+    vectorised bitset kernel.  Both return identical potentials — the
+    maximum-matching size is unique — so the knob exists for differential
+    testing and as the pre-optimisation benchmark arm.
+    """
+    kernel = os.environ.get("CAQR_LOOKAHEAD_KERNEL", "bitset").strip().lower()
+    return "nx" if kernel == "nx" else "bitset"
 
 
 class _WireGroup:
@@ -130,10 +146,102 @@ def _potential_for_candidate(state: dict, pair: ReusePair) -> int:
     return len(matching) // 2
 
 
+def _derive_np_state(state: dict) -> dict:
+    """Precompute the per-step overlap matrices the bitset kernel reads.
+
+    The candidate-dependent bitset expressions in
+    :func:`_potential_for_candidate` all factor through three label×label
+    overlap relations, so the word-level work is done once per step here
+    and each candidate evaluation degrades to (n, n) boolean algebra:
+
+    * ``op_overlap[x, y]``  — ``selfop[x] & reach_op[y]`` is non-zero
+      (Condition 2 of the unmodified wires);
+    * ``all_overlap[x, y]`` — ``selfop[x] & reach_all[y]`` is non-zero
+      (whether wire *x* holds gates inside candidate-target *y*'s closure,
+      i.e. whether the transferred closure ``tr`` reaches wire *x*'s ops);
+    * ``grabs[a, y]``       — ``selfall[a] & reach_op[y]`` is non-zero
+      (whether wire *y* reaches candidate-source *a* and therefore
+      inherits ``tr`` after the merge).
+
+    The prospective measure/reset bits (``next_id``/``next_id + 1``) never
+    intersect any existing mask, and both always land in ``tr`` and in the
+    merged source wire's self-mask, so their only effect — forcing
+    Condition 2 between the merged wire and every wire that inherits
+    ``tr`` — is folded into the closed-form update in
+    :func:`_potential_for_candidate_fast`.
+    """
+    n = state["n"]
+    num_words = max(1, (state["next_id"] + 63) // 64)
+
+    def _pack(masks: List[int]) -> np.ndarray:
+        data = b"".join(m.to_bytes(num_words * 8, "little") for m in masks)
+        return np.frombuffer(data, dtype="<u8").reshape(n, num_words)
+
+    reach_op = _pack(state["reach_op"])
+    reach_all = _pack(state["reach_all"])
+    selfop = _pack(state["selfop"])
+    selfall = _pack(state["selfall"])
+    gids = state["gids"]
+    interact = np.zeros((n, n), dtype=bool)
+    for x, members in enumerate(state["interacts"]):
+        if members:
+            for y in range(n):
+                if gids[y] in members:
+                    interact[x, y] = True
+    return {
+        "n": n,
+        "op_overlap": (selfop[:, None, :] & reach_op[None, :, :]).any(axis=2),
+        "all_overlap": (selfop[:, None, :] & reach_all[None, :, :]).any(axis=2),
+        "grabs": (selfall[:, None, :] & reach_op[None, :, :]).any(axis=2),
+        "interact": interact,
+        "used": np.array(state["used"], dtype=bool),
+    }
+
+
+def _potential_for_candidate_fast(np_state: dict, pair: ReusePair) -> int:
+    """Bitset-kernel twin of :func:`_potential_for_candidate`.
+
+    Evaluates the same post-merge Condition-1/2 relation from the
+    precomputed overlap matrices and sizes the same maximum matching
+    (Kuhn instead of Hopcroft–Karp; the size is unique), so the returned
+    potential is identical bit for bit.
+    """
+    a, b = pair.source, pair.target
+    n = np_state["n"]
+    op_overlap = np_state["op_overlap"]
+    transfer_hits = np_state["all_overlap"][:, b]  # selfop[x] & reach_all[b]
+    inherits = np_state["grabs"][a].copy()  # wires whose reach grows by tr
+    inherits[a] = True
+    # Condition 2 after the merge: the base relation, plus tr reaching any
+    # wire that inherits it, plus the merged wire's combined rows/columns.
+    cond2 = op_overlap | (transfer_hits[:, None] & inherits[None, :])
+    cond2[:, a] |= op_overlap[:, b]
+    cond2[a, :] = op_overlap[a, :] | op_overlap[b, :] | inherits
+    # Condition 1 after the merge: the source wire owns both interact sets.
+    merged = np_state["interact"][a] | np_state["interact"][b]
+    cond1 = np_state["interact"].copy()
+    cond1[a, :] = merged
+    cond1[:, a] = merged
+    used2 = np_state["used"].copy()
+    used2[a] = True
+    valid = used2[:, None] & used2[None, :] & ~cond1 & ~cond2
+    np.fill_diagonal(valid, False)
+    valid[b, :] = False
+    valid[:, b] = False
+    if not valid.any():
+        return 0
+    packed = np.packbits(valid, axis=1, bitorder="little")
+    rows = [int.from_bytes(packed[x].tobytes(), "little") for x in range(n)]
+    return max_bipartite_matching_size(rows, n)
+
+
 def _potential_chunk_worker(payload):
     """Process-pool entry point: lookahead for one chunk of candidates."""
     state, pairs = payload
-    return [_potential_for_candidate(state, pair) for pair in pairs]
+    if _lookahead_kernel() == "nx":
+        return [_potential_for_candidate(state, pair) for pair in pairs]
+    np_state = _derive_np_state(state)
+    return [_potential_for_candidate_fast(np_state, pair) for pair in pairs]
 
 
 class ReuseSession:
@@ -174,6 +282,7 @@ class ReuseSession:
         self._num_clbits = circuit.num_clbits
         self._executor = None
         self._state_cache: Optional[dict] = None
+        self._np_state_cache: Optional[dict] = None
         self._potential_cache: Dict[ReusePair, int] = {}
 
         self._labels: List[_WireGroup] = [
@@ -258,6 +367,7 @@ class ReuseSession:
             selfall[label] = s_all
             used[label] = bool(group.nodes)
             tmeasure[label] = self._has_terminal_measure(group)
+        self._np_state_cache = None
         self._state_cache = {
             "n": n,
             "reach_op": reach_op,
@@ -296,6 +406,12 @@ class ReuseSession:
 
     # -- lookahead -------------------------------------------------------------
 
+    def _np_state(self) -> dict:
+        """Per-generation overlap matrices for the bitset lookahead kernel."""
+        if self._np_state_cache is None:
+            self._np_state_cache = _derive_np_state(self._state())
+        return self._np_state_cache
+
     def _pool(self):
         if self._executor is None:
             from concurrent.futures import ProcessPoolExecutor
@@ -329,10 +445,17 @@ class ReuseSession:
                 values: List[int] = []
                 for part in self._pool().map(_potential_chunk_worker, payloads):
                     values.extend(part)
-            else:
+            elif _lookahead_kernel() == "nx":
                 self.stats.count("serial_batches")
                 values = [
                     _potential_for_candidate(state, pair) for pair in missing
+                ]
+            else:
+                self.stats.count("serial_batches")
+                np_state = self._np_state()
+                values = [
+                    _potential_for_candidate_fast(np_state, pair)
+                    for pair in missing
                 ]
             self._potential_cache.update(zip(missing, values))
         return {p: self._potential_cache[p] for p in pairs}
@@ -437,5 +560,6 @@ class ReuseSession:
         self.pairs.append(pair)
         self.generation += 1
         self._state_cache = None
+        self._np_state_cache = None
         self._potential_cache.clear()
         self.stats.count("steps")

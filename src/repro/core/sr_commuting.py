@@ -26,6 +26,7 @@ from repro.core.qs_commuting import QSCaQRCommuting, QSCommutingResult
 from repro.core.sr_caqr import SRCaQR, SRCaQRResult
 from repro.exceptions import ReuseError
 from repro.hardware.backends import Backend
+from repro.transpiler.stats import RouteStats
 from repro.workloads.qaoa import QAOA_DEFAULT_BETA, QAOA_DEFAULT_GAMMA
 
 __all__ = ["SRCommutingResult", "SRCaQRCommuting", "find_sweet_spot"]
@@ -89,6 +90,12 @@ class SRCaQRCommuting:
         gamma / beta: QAOA angles (single round).
         depth_tolerance: sweet-spot depth budget over the no-reuse depth.
         noise_aware: forwarded to the SR router.
+        incremental / parallel / max_workers: forwarded to the SR router
+            (engine choice and trial-grid fan-out; the routed circuit is
+            identical either way).
+
+    The underlying router's :class:`~repro.transpiler.RouteStats` sink is
+    exposed as ``self.stats`` and accumulates across ``run`` calls.
     """
 
     def __init__(
@@ -99,6 +106,9 @@ class SRCaQRCommuting:
         depth_tolerance: float = 0.25,
         noise_aware: bool = True,
         reset_style: str = "cif",
+        incremental: bool = True,
+        parallel: Optional[bool] = None,
+        max_workers: Optional[int] = None,
     ):
         self.backend = backend
         self.gamma = gamma
@@ -106,12 +116,26 @@ class SRCaQRCommuting:
         self.depth_tolerance = depth_tolerance
         self.noise_aware = noise_aware
         self.reset_style = reset_style
+        self.router = SRCaQR(
+            backend,
+            noise_aware=noise_aware,
+            reset_style=reset_style,
+            incremental=incremental,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+
+    @property
+    def stats(self) -> RouteStats:
+        """The SR router's counter/timer sink (accumulates across runs)."""
+        return self.router.stats
 
     def run(
         self,
         graph: nx.Graph,
         qubit_limit: Optional[int] = None,
         objective: str = "swaps",
+        trials: int = 3,
     ) -> SRCommutingResult:
         """Compile the QAOA circuit for *graph* with reuse-aware routing.
 
@@ -124,6 +148,8 @@ class SRCaQRCommuting:
                 estimated success probability — the right metric when the
                 compiled circuit feeds a fidelity-sensitive application
                 such as the Figs. 15-16 convergence experiments.
+            trials: hint-seed trials per SR candidate (forwarded to the
+                router's candidate × seed grid).
         """
         if objective not in ("swaps", "esp"):
             raise ReuseError(f"unknown SR objective {objective!r}")
@@ -133,11 +159,7 @@ class SRCaQRCommuting:
             beta=self.beta,
             reset_style=self.reset_style,
         )
-        router = SRCaQR(
-            self.backend,
-            noise_aware=self.noise_aware,
-            reset_style=self.reset_style,
-        )
+        router = self.router
         if qubit_limit is not None:
             point = qs.reduce_to(qubit_limit)
             if not point.feasible:
@@ -145,7 +167,7 @@ class SRCaQRCommuting:
                     f"cannot reach {qubit_limit} qubits "
                     f"(floor is {qs.minimum_qubits()})"
                 )
-            routed = router.run(point.circuit)
+            routed = router.run(point.circuit, trials=trials)
             return SRCommutingResult(result=routed, qs_point=point, pairs=point.pairs)
 
         # SWAP reduction is the primary goal (Section 3.3); the imposed
@@ -174,7 +196,7 @@ class SRCaQRCommuting:
         best: Optional[SRCommutingResult] = None
         best_key = None
         for point in candidates.values():
-            routed = router.run(point.circuit)
+            routed = router.run(point.circuit, trials=trials)
             candidate = SRCommutingResult(
                 result=routed, qs_point=point, pairs=point.pairs
             )

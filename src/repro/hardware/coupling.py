@@ -11,6 +11,7 @@ from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.exceptions import HardwareError
 
@@ -28,7 +29,7 @@ class CouplingMap:
         self._edges: Set[FrozenSet[int]] = set()
         for a, b in edges:
             self.add_edge(a, b)
-        self._distance: Optional[List[List[int]]] = None
+        self._distance: Optional[np.ndarray] = None
 
     def add_edge(self, a: int, b: int) -> None:
         """Register the undirected link (a, b)."""
@@ -82,17 +83,24 @@ class CouplingMap:
             HardwareError: when the qubits are in different components.
         """
         matrix = self.distance_matrix()
-        d = matrix[a][b]
+        d = int(matrix[a][b])
         if d < 0:
             raise HardwareError(f"qubits {a} and {b} are not connected")
         return d
 
-    def distance_matrix(self) -> List[List[int]]:
-        """All-pairs hop distances (−1 for unreachable), cached."""
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs hop distances (−1 for unreachable) as a cached
+        read-only ``np.ndarray``.
+
+        The array is shared between every caller (routers index it millions
+        of times per run), so it is handed out with ``writeable=False``:
+        attempts to mutate it raise instead of silently corrupting the
+        cache.  ``add_edge`` invalidates it.
+        """
         if self._distance is None:
-            matrix = []
+            matrix = np.full((self.num_qubits, self.num_qubits), -1, dtype=np.int64)
             for source in range(self.num_qubits):
-                row = [-1] * self.num_qubits
+                row = matrix[source]
                 row[source] = 0
                 queue = deque([source])
                 while queue:
@@ -101,7 +109,7 @@ class CouplingMap:
                         if row[neighbor] < 0:
                             row[neighbor] = row[q] + 1
                             queue.append(neighbor)
-                matrix.append(row)
+            matrix.setflags(write=False)
             self._distance = matrix
         return self._distance
 

@@ -17,6 +17,7 @@ from repro.transpiler.commutation import (
 from repro.transpiler.timing import insert_delays, schedule_alap
 from repro.transpiler.translation import NATIVE_BASIS, is_in_basis, translate_to_basis
 from repro.transpiler.sabre import RoutingResult, sabre_layout, sabre_route
+from repro.transpiler.stats import RouteStats
 from repro.transpiler.scheduling import (
     Schedule,
     ScheduledInstruction,
@@ -31,6 +32,7 @@ __all__ = [
     "sabre_route",
     "sabre_layout",
     "RoutingResult",
+    "RouteStats",
     "Schedule",
     "ScheduledInstruction",
     "schedule_asap",

@@ -20,6 +20,7 @@ from repro.transpiler.layout import Layout, greedy_degree_layout, trivial_layout
 from repro.transpiler.optimization import optimize_circuit
 from repro.transpiler.sabre import sabre_layout, sabre_route
 from repro.transpiler.scheduling import circuit_duration_dt
+from repro.transpiler.stats import RouteStats
 
 __all__ = ["TranspileResult", "transpile"]
 
@@ -57,6 +58,8 @@ def transpile(
     optimization_level: int = 3,
     seed: int = 11,
     initial_layout: Optional[Layout] = None,
+    parallel: Optional[bool] = None,
+    stats: Optional[RouteStats] = None,
 ) -> TranspileResult:
     """Compile *circuit* for *backend*.
 
@@ -68,6 +71,11 @@ def transpile(
       full peephole.
     * 3 — SABRE bidirectional layout search (larger search), routing, full
       peephole — the paper's Qiskit-level-3 baseline.
+
+    ``parallel`` fans the SABRE layout trials over the routing worker pool
+    (``None`` auto-detects; results are bit-identical either way) and
+    ``stats`` collects :class:`RouteStats` counters — neither changes the
+    emitted circuit.
     """
     if not 0 <= optimization_level <= 3:
         raise TranspilerError(f"bad optimization level {optimization_level}")
@@ -82,16 +90,22 @@ def transpile(
     elif optimization_level == 2:
         degrees = dict(flat.interaction_graph().degree())
         seed_layout = greedy_degree_layout(degrees, coupling, flat.num_qubits)
-        routed_seed = sabre_route(flat, coupling, seed_layout, seed=seed)
+        routed_seed = sabre_route(flat, coupling, seed_layout, seed=seed, stats=stats)
         layout = (
             seed_layout
             if routed_seed.swap_count == 0
-            else sabre_layout(flat, coupling, seed=seed, iterations=2, trials=2)
+            else sabre_layout(
+                flat, coupling, seed=seed, iterations=2, trials=2,
+                parallel=parallel, stats=stats,
+            )
         )
     else:
-        layout = sabre_layout(flat, coupling, seed=seed, iterations=3, trials=4)
+        layout = sabre_layout(
+            flat, coupling, seed=seed, iterations=3, trials=4,
+            parallel=parallel, stats=stats,
+        )
 
-    routed = sabre_route(flat, coupling, layout, seed=seed)
+    routed = sabre_route(flat, coupling, layout, seed=seed, stats=stats)
     result = routed.circuit
     if optimization_level == 1:
         result = optimize_circuit(result, merge_1q=False)

@@ -1,0 +1,119 @@
+"""Runtime counters, gauges, and wall-time buckets for the routing stack.
+
+:class:`RouteStats` follows the :class:`repro.core.profile.ReuseEvalStats` /
+:class:`repro.sim.stats.SimStats` pattern: the routers report into an
+optional sink, benchmarks and :func:`repro.compile_api.caqr_compile` read it
+back.  It lives in the transpiler layer because both the SABRE passes here
+and the SR-CaQR router in :mod:`repro.core.sr_caqr` feed it, and core
+already depends on transpiler (not vice versa).
+
+Counter names the routers use:
+
+* ``route_calls`` — :func:`repro.transpiler.sabre.sabre_route` invocations;
+* ``layout_trials`` — SABRE bidirectional layout trials executed;
+* ``sr_trials`` — full ``SRCaQR._run_once`` trials executed (candidate ×
+  hint-seed grid cells);
+* ``serial_trials`` / ``parallel_trials`` — trials run in-process vs.
+  fanned out to the worker pool;
+* ``swap_candidates_scored`` — hypothetical SWAPs evaluated by the
+  vectorised scoring kernels (SABRE + SR lazy mapper);
+* ``swaps_inserted`` — SWAPs actually committed;
+* ``slack_recomputes`` — scheduling rounds that rebuilt slack via the
+  incremental ASAP worklist;
+* ``slack_recomputes_avoided`` — rounds served from the cached slack table
+  because no node was resolved since the last recompute;
+* ``slack_node_updates`` — individual ASAP label updates performed by the
+  worklist (the incremental engine's unit of work);
+* ``distance_cache_builds`` / ``distance_cache_hits`` — error-weighted
+  all-pairs distance matrices computed vs. served from the per-backend
+  cache;
+* ``hint_fallbacks`` — hint-layout searches abandoned on an expected
+  :class:`~repro.exceptions.TranspilerError` (the router then maps without
+  hints);
+* ``reuses`` — qubit reuses committed by the selected SR trial.
+
+Time buckets (seconds): ``route`` (SABRE swap insertion), ``layout``
+(bidirectional layout search), ``sr_run`` (full SR-CaQR candidate sweep),
+``slack`` (incremental scheduler state maintenance).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["RouteStats"]
+
+
+@dataclass
+class RouteStats:
+    """Counter/gauge/timer sink for one routing run (or many, merged)."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    timers: Dict[str, float] = field(default_factory=dict)
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add *seconds* to wall-time bucket *name*."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def add_value(self, name: str, amount: float) -> None:
+        """Accumulate *amount* into gauge *name*."""
+        self.values[name] = self.values.get(name, 0.0) + amount
+
+    def set_value(self, name: str, value: float) -> None:
+        """Overwrite gauge *name*."""
+        self.values[name] = value
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Context manager timing its block into bucket *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    @property
+    def slack_reuse_rate(self) -> float:
+        """Fraction of scheduling rounds served from the cached slack table."""
+        avoided = self.counters.get("slack_recomputes_avoided", 0)
+        total = avoided + self.counters.get("slack_recomputes", 0)
+        return avoided / total if total else 0.0
+
+    @property
+    def distance_cache_hit_rate(self) -> float:
+        """Fraction of distance-matrix requests served from the cache."""
+        hits = self.counters.get("distance_cache_hits", 0)
+        total = hits + self.counters.get("distance_cache_builds", 0)
+        return hits / total if total else 0.0
+
+    def merge(self, other: "RouteStats") -> None:
+        """Fold *other*'s counters, gauges, and timers into this instance."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.timers.items():
+            self.add_time(name, value)
+        for name, value in other.values.items():
+            self.add_value(name, value)
+
+    def reset(self) -> None:
+        """Zero all counters, gauges, and timers."""
+        self.counters.clear()
+        self.timers.clear()
+        self.values.clear()
+
+    def summary(self) -> str:
+        """One-line report for benchmark output."""
+        parts = [f"{name}={self.counters[name]}" for name in sorted(self.counters)]
+        parts.extend(f"{name}={self.values[name]:g}" for name in sorted(self.values))
+        parts.extend(
+            f"{name}_s={self.timers[name]:.3f}" for name in sorted(self.timers)
+        )
+        return ", ".join(parts)

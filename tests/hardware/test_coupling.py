@@ -75,3 +75,40 @@ class TestQueries:
         graph = coupling.to_networkx()
         assert graph.number_of_nodes() == 3
         assert graph.number_of_edges() == 2
+
+
+class TestDistanceMatrix:
+    def test_matches_pairwise_distance(self):
+        coupling = CouplingMap(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        matrix = coupling.distance_matrix()
+        for a in range(5):
+            for b in range(5):
+                assert matrix[a, b] == coupling.distance(a, b)
+
+    def test_unreachable_is_negative(self):
+        coupling = CouplingMap(3, [(0, 1)])
+        assert coupling.distance_matrix()[0, 2] == -1
+
+    def test_read_only(self):
+        import numpy as np
+
+        coupling = CouplingMap(3, [(0, 1), (1, 2)])
+        matrix = coupling.distance_matrix()
+        assert isinstance(matrix, np.ndarray)
+        with pytest.raises(ValueError):
+            matrix[0, 1] = 99
+        # the shared cache is untouched by the failed write
+        assert coupling.distance_matrix()[0, 1] == 1
+
+    def test_cached_instance_shared(self):
+        coupling = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        assert coupling.distance_matrix() is coupling.distance_matrix()
+
+    def test_add_edge_invalidates(self):
+        coupling = CouplingMap(4, [(0, 1), (1, 2), (2, 3)])
+        before = coupling.distance_matrix()
+        assert before[0, 3] == 3
+        coupling.add_edge(0, 3)
+        after = coupling.distance_matrix()
+        assert after is not before
+        assert after[0, 3] == 1
