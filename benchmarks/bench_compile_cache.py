@@ -1,0 +1,125 @@
+"""Compile cache: warm-hit and batched-dedup speedups over cold compiles.
+
+The tentpole claim: CaQR compilation is deterministic given (circuit,
+backend, mode/knobs, seed), so the content-addressed cache serves repeat
+requests without re-running QS/SR at all.  A warm ``caqr_compile`` on the
+bv40 sweep must beat the cold compile by >= 20x (measured ~3 orders of
+magnitude; the bar leaves room for slow filesystems), and
+``compile_batch`` must fold duplicate in-flight requests onto a single
+compilation (dedup counter asserted).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_compile_cache.py``.
+"""
+
+import time
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.service import CompileRequest, CompileService
+from repro.workloads import bv_circuit, random_graph
+
+# the acceptance bar on the headline workload (ISSUE 4 / docs/SERVICE.md)
+MIN_WARM_SPEEDUP = 20.0
+HEADLINE = "bv40"
+
+WORKLOADS = [
+    ("bv16", lambda: bv_circuit(16), {}),
+    ("bv24", lambda: bv_circuit(24), {}),
+    ("bv40", lambda: bv_circuit(40), {}),
+    ("qaoa16-0.3", lambda: random_graph(16, 0.3, seed=7), {"mode": "max_reuse"}),
+]
+
+WARM_REPEATS = 5
+
+
+def _measure_warm():
+    rows = []
+    headline = None
+    for name, build, knobs in WORKLOADS:
+        target = build()
+        service = CompileService()
+        start = time.perf_counter()
+        cold = service.compile(target, **knobs)
+        t_cold = time.perf_counter() - start
+        assert cold.from_cache is False
+        start = time.perf_counter()
+        for _ in range(WARM_REPEATS):
+            warm = service.compile(target, **knobs)
+        t_warm = (time.perf_counter() - start) / WARM_REPEATS
+        assert warm.from_cache is True
+        assert warm.circuit.data == cold.circuit.data, name
+        assert warm.metrics == cold.metrics, name
+        speedup = t_cold / t_warm
+        rows.append(
+            [
+                name,
+                cold.metrics.qubits_used,
+                round(t_cold, 3),
+                round(1000 * t_warm, 2),
+                f"{speedup:.0f}x",
+                service.stats.counters["hits"],
+            ]
+        )
+        if name == HEADLINE:
+            headline = (speedup, service.stats)
+    return rows, headline
+
+
+def _measure_batch():
+    # 3 unique fingerprints submitted 9 times: the batch engine must
+    # compile exactly 3 and fold the other 6
+    circuits = [bv_circuit(n) for n in (14, 16, 18)]
+    requests = [CompileRequest(circuits[i % 3]) for i in range(9)]
+    start = time.perf_counter()
+    for circuit in circuits:
+        for _ in range(3):
+            CompileService().compile(circuit)  # no sharing at all
+    t_naive = time.perf_counter() - start
+    service = CompileService()
+    start = time.perf_counter()
+    reports = service.compile_batch(requests)
+    t_batch = time.perf_counter() - start
+    stats = service.stats
+    assert stats.counters["dedup_folds"] == 6, stats.summary()
+    assert stats.counters["batch_unique"] == 3
+    assert stats.counters["misses"] == 3
+    assert [r.circuit.num_qubits for r in reports] == [
+        requests[i].target.num_qubits for i in range(9)
+    ]
+    return t_naive, t_batch, stats
+
+
+def _measure():
+    warm_rows, headline = _measure_warm()
+    t_naive, t_batch, batch_stats = _measure_batch()
+    return warm_rows, headline, (t_naive, t_batch, batch_stats)
+
+
+def test_compile_cache_speedup(benchmark):
+    warm_rows, headline, batch = once(benchmark, _measure)
+    speedup, stats = headline
+    t_naive, t_batch, batch_stats = batch
+    table = format_table(
+        ["workload", "qubits", "cold_s", "warm_ms", "speedup", "hits"],
+        warm_rows,
+    )
+    batch_lines = (
+        f"batched dedup: 9 requests / 3 unique -> "
+        f"{batch_stats.counters['misses']} compiles, "
+        f"{batch_stats.counters['dedup_folds']} folds; "
+        f"batch {t_batch:.2f}s vs uncached sequential {t_naive:.2f}s "
+        f"({t_naive / t_batch:.1f}x)"
+    )
+    emit(
+        "compile_cache",
+        table
+        + "\n\n"
+        + batch_lines
+        + "\n\nheadline stats: "
+        + stats.summary(),
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm cache only {speedup:.1f}x faster on {HEADLINE} "
+        f"(need >= {MIN_WARM_SPEEDUP}x)"
+    )

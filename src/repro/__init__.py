@@ -10,6 +10,8 @@ Public entry points:
 * :func:`repro.transpiler.transpile` — the SABRE-based baseline pipeline.
 * :mod:`repro.sim` — noisy dynamic-circuit simulation and metrics.
 * :mod:`repro.workloads` — the paper's benchmark circuits.
+* :mod:`repro.service` — content-addressed compile cache and batch
+  engine in front of :func:`caqr_compile` (``caqr_compile(..., cache=True)``).
 """
 
 __version__ = "1.0.0"

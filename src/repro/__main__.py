@@ -1,17 +1,22 @@
 """Command-line interface: compile OpenQASM files with qubit reuse.
 
-Usage examples::
+Usage examples (kept in sync with the argparse tree below; the README's
+CLI section mirrors these and ``tests/test_docs.py`` parses both)::
 
     python -m repro compile circuit.qasm --mode max_reuse
     python -m repro compile circuit.qasm --mode min_swap --backend mumbai \
         --output compiled.qasm --draw
-    python -m repro sweep circuit.qasm
+    python -m repro compile bv_20 --cache          # content-addressed cache
+    python -m repro sweep circuit.qasm --backend mumbai
     python -m repro benchmarks            # list bundled benchmark names
+    python -m repro cache stats           # inspect the on-disk cache
+    python -m repro cache clear
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -43,6 +48,13 @@ def _load_circuit(path: str):
     return get_benchmark(path)
 
 
+def _cache_spec(args: argparse.Namespace):
+    """Map --cache/--cache-dir onto ``caqr_compile``'s ``cache=`` value."""
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    return bool(getattr(args, "cache", False))
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     backend = _load_backend(args.backend)
@@ -52,6 +64,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         mode=args.mode,
         qubit_limit=args.qubit_limit,
         reset_style=args.reset_style,
+        cache=_cache_spec(args),
     )
     metrics = report.metrics
     rows = [
@@ -64,6 +77,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         ["qubit saving", f"{report.qubit_saving:.0%}"],
         ["reuse beneficial", report.reuse_beneficial],
     ]
+    if _cache_spec(args):
+        rows.append(["served from cache", report.from_cache])
     print(format_table(["metric", "value"], rows, title=f"mode={report.mode}"))
     if args.draw:
         print()
@@ -130,6 +145,38 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_directory(args: argparse.Namespace) -> str:
+    directory = args.dir or os.environ.get("CAQR_CACHE_DIR")
+    if not directory:
+        raise ReproError(
+            "no cache directory: pass --dir or set CAQR_CACHE_DIR"
+        )
+    return directory
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.service import SCHEMA_VERSION, DiskCache
+
+    store = DiskCache(_cache_directory(args))
+    rows = [
+        ["directory", store.directory],
+        ["entries", len(store)],
+        ["bytes", store.total_bytes],
+        ["schema version", SCHEMA_VERSION],
+    ]
+    print(format_table(["field", "value"], rows, title="compile cache"))
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    from repro.service import DiskCache
+
+    store = DiskCache(_cache_directory(args))
+    removed = store.clear()
+    print(f"removed {removed} cache entries from {store.directory}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,15 +207,55 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument(
         "--draw", action="store_true", help="print the ASCII circuit"
     )
+    compile_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve repeat compilations from the content-addressed cache "
+        "(persistent when CAQR_CACHE_DIR is set)",
+    )
+    compile_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the compile cache under DIR (implies --cache)",
+    )
     compile_parser.set_defaults(func=_cmd_compile)
 
-    sweep_parser = sub.add_parser("sweep", help="print the tradeoff sweep")
-    sweep_parser.add_argument("circuit")
-    sweep_parser.add_argument("--backend", default=None)
+    sweep_parser = sub.add_parser(
+        "sweep", help="print the qubit/depth/SWAP tradeoff sweep"
+    )
+    sweep_parser.add_argument(
+        "circuit", help="OpenQASM 2 file (*.qasm) or bundled benchmark name"
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        default=None,
+        help='"mumbai" or a backend-JSON file (adds compiled depth/SWAP '
+        "columns)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     benchmarks_parser = sub.add_parser("benchmarks", help="list bundled circuits")
     benchmarks_parser.set_defaults(func=_cmd_benchmarks)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the on-disk compile cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and byte totals of the store"
+    )
+    cache_stats.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $CAQR_CACHE_DIR)",
+    )
+    cache_stats.set_defaults(func=_cmd_cache_stats)
+    cache_clear = cache_sub.add_parser("clear", help="remove every entry")
+    cache_clear.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $CAQR_CACHE_DIR)",
+    )
+    cache_clear.set_defaults(func=_cmd_cache_clear)
     return parser
 
 

@@ -49,6 +49,10 @@ class CompileReport:
         qubit_saving: fraction of qubits saved vs. the input.
         route_stats: the SR router's counter/timer sink (``"min_swap"``
             mode only; ``None`` otherwise).
+        from_cache: ``True`` when the compile service served this report
+            without running the compiler — a warm cache entry, an
+            in-flight join, or a folded duplicate batch member (see
+            ``docs/SERVICE.md``).
     """
 
     circuit: QuantumCircuit
@@ -58,6 +62,7 @@ class CompileReport:
     reuse_beneficial: bool
     qubit_saving: float
     route_stats: Optional[RouteStats] = None
+    from_cache: bool = False
 
 
 def caqr_compile(
@@ -70,6 +75,7 @@ def caqr_compile(
     auto_commuting: bool = True,
     incremental: bool = True,
     parallel: bool = True,
+    cache=None,
 ) -> CompileReport:
     """Compile a circuit or QAOA problem graph with qubit reuse.
 
@@ -94,7 +100,28 @@ def caqr_compile(
             session (default; ``False`` selects the from-scratch reference
             engine — both pick identical reuse pairs).
         parallel: allow process-pool candidate scoring on large circuits.
+        cache: route the request through the content-addressed compile
+            cache (:mod:`repro.service`): ``True`` uses the process-wide
+            default service (persistent under ``$CAQR_CACHE_DIR`` when
+            set), a directory string persists under that path, a
+            :class:`~repro.service.CompileService` uses that instance,
+            and ``None``/``False`` (default) compiles directly.  Served
+            reports are flagged :attr:`CompileReport.from_cache`.
     """
+    if cache:
+        from repro.service.service import resolve_cache
+
+        return resolve_cache(cache).compile(
+            target,
+            backend=backend,
+            mode=mode,
+            qubit_limit=qubit_limit,
+            reset_style=reset_style,
+            seed=seed,
+            auto_commuting=auto_commuting,
+            incremental=incremental,
+            parallel=parallel,
+        )
     angles = None
     if (
         auto_commuting

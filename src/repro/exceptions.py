@@ -47,3 +47,12 @@ class ReuseError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by benchmark/workload generators for invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """Raised by the compile service for invalid cache or batch requests.
+
+    Corrupt on-disk cache entries do *not* raise — the cache treats them
+    as misses and recompiles; this error covers caller mistakes (unknown
+    cache spec, malformed batch request).
+    """

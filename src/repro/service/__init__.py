@@ -1,0 +1,64 @@
+"""Compile service: content-addressed caching + batch compilation.
+
+The production front-end for :func:`repro.compile_api.caqr_compile`:
+deterministic compilation inputs are fingerprinted
+(:mod:`repro.service.fingerprint`), compiled reports are stored losslessly
+(:mod:`repro.service.serialization`) in a two-tier LRU/disk cache
+(:mod:`repro.service.cache`), and :class:`CompileService`
+(:mod:`repro.service.service`) serves single requests, folds concurrent
+duplicates, and fans batches over a process pool.  See
+``docs/SERVICE.md`` for the cache-key contract and
+``docs/ARCHITECTURE.md`` for where this layer sits.
+"""
+
+from repro.service.cache import DiskCache, MemoryCache, TieredCache
+from repro.service.fingerprint import (
+    backend_digest,
+    circuit_digest,
+    circuit_normal_form,
+    graph_digest,
+    graph_normal_form,
+    request_fingerprint,
+)
+from repro.service.serialization import (
+    SCHEMA_VERSION,
+    circuit_from_dict,
+    circuit_to_dict,
+    dumps_entry,
+    loads_entry,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.service.service import (
+    CompileRequest,
+    CompileService,
+    default_service,
+    reset_default_service,
+    resolve_cache,
+)
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "CompileRequest",
+    "CompileService",
+    "ServiceStats",
+    "MemoryCache",
+    "DiskCache",
+    "TieredCache",
+    "SCHEMA_VERSION",
+    "default_service",
+    "reset_default_service",
+    "resolve_cache",
+    "request_fingerprint",
+    "circuit_digest",
+    "circuit_normal_form",
+    "graph_digest",
+    "graph_normal_form",
+    "backend_digest",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "report_to_dict",
+    "report_from_dict",
+    "dumps_entry",
+    "loads_entry",
+]

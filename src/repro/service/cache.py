@@ -1,0 +1,230 @@
+"""Two-tier content-addressed store for serialized compile reports.
+
+Both tiers store the *serialized* entry text (see
+:mod:`repro.service.serialization`) rather than live report objects:
+byte-accurate capacity accounting falls out for free, every hit hands the
+caller an independent deserialized report (no aliasing of mutable
+circuits between callers), and the memory and disk tiers stay trivially
+interchangeable.
+
+* :class:`MemoryCache` — in-process LRU with entry *and* byte caps.
+* :class:`DiskCache` — one ``<key>.json`` per entry under a user
+  directory (``CAQR_CACHE_DIR``), written atomically (temp file +
+  ``os.replace``) so a crashed writer can never leave a half entry under
+  the final name; loads are corruption-tolerant — unreadable, truncated,
+  or stale-schema files count as misses and are deleted.
+* :class:`TieredCache` — memory in front of optional disk, promoting
+  disk hits into the memory tier.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.exceptions import ServiceError
+from repro.service.stats import ServiceStats
+
+__all__ = ["MemoryCache", "DiskCache", "TieredCache"]
+
+DEFAULT_MAX_ENTRIES = 256
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+_ENTRY_SUFFIX = ".json"
+
+
+class MemoryCache:
+    """In-process LRU keyed by fingerprint, capped by entries and bytes."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        stats: Optional[ServiceStats] = None,
+    ):
+        if max_entries < 1:
+            raise ServiceError("memory cache needs max_entries >= 1")
+        if max_bytes < 1:
+            raise ServiceError("memory cache needs max_bytes >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = stats if stats is not None else ServiceStats()
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Current footprint of all stored entry texts."""
+        return self._bytes
+
+    def get(self, key: str) -> Optional[str]:
+        """Return the entry text for *key* (refreshing LRU order) or None."""
+        text = self._entries.get(key)
+        if text is None:
+            return None
+        self._entries.move_to_end(key)
+        self.stats.count("memory_hits")
+        return text
+
+    def put(self, key: str, text: str) -> None:
+        """Insert/refresh *key*; evict LRU entries past either cap.
+
+        Entries larger than ``max_bytes`` on their own are not cached
+        (evicting the whole tier for one giant report helps nobody).
+        """
+        size = len(text.encode())
+        if size > self.max_bytes:
+            return
+        if key in self._entries:
+            self._bytes -= len(self._entries.pop(key).encode())
+        self._entries[key] = text
+        self._bytes += size
+        while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= len(evicted.encode())
+            self.stats.count("evictions")
+        self.stats.set_value("memory_entries", len(self._entries))
+        self.stats.set_value("memory_bytes", self._bytes)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+        self._bytes = 0
+        self.stats.set_value("memory_entries", 0)
+        self.stats.set_value("memory_bytes", 0)
+
+
+class DiskCache:
+    """On-disk entry store: ``<directory>/<key>.json``, atomic writes."""
+
+    def __init__(self, directory: str, stats: Optional[ServiceStats] = None):
+        self.directory = os.path.abspath(os.path.expanduser(directory))
+        self.stats = stats if stats is not None else ServiceStats()
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + _ENTRY_SUFFIX)
+
+    def get(self, key: str) -> Optional[str]:
+        """Return the entry text for *key*, dropping unreadable files."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        if not text.strip():
+            # zero-length or whitespace file: an interrupted non-atomic
+            # writer (or filesystem fault) — purge and recompile
+            self._drop_corrupt(path)
+            return None
+        self.stats.count("disk_hits")
+        return text
+
+    def _drop_corrupt(self, path: str) -> None:
+        self.stats.count("corrupt_entries")
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def invalidate(self, key: str) -> None:
+        """Remove *key*'s file, counting it as corrupt (caller found it bad)."""
+        self._drop_corrupt(self._path(key))
+
+    def put(self, key: str, text: str) -> None:
+        """Atomically persist *key* (temp file + rename; never half-written)."""
+        path = self._path(key)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".tmp-" + key[:16] + "-", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.add_value("disk_bytes_written", len(text.encode()))
+
+    def keys(self) -> Iterator[str]:
+        """Yield every stored fingerprint."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if name.endswith(_ENTRY_SUFFIX) and not name.startswith("."):
+                yield name[: -len(_ENTRY_SUFFIX)]
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed size of every stored entry file."""
+        total = 0
+        for key in self.keys():
+            try:
+                total += os.path.getsize(self._path(key))
+            except OSError:
+                pass
+        return total
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every entry file; return how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                os.remove(self._path(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class TieredCache:
+    """Memory tier in front of an optional disk tier."""
+
+    def __init__(self, memory: MemoryCache, disk: Optional[DiskCache] = None):
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, key: str) -> Optional[str]:
+        """Probe memory then disk; promote disk hits into memory."""
+        text = self.memory.get(key)
+        if text is not None:
+            return text
+        if self.disk is not None:
+            text = self.disk.get(key)
+            if text is not None:
+                self.memory.put(key, text)
+                return text
+        return None
+
+    def invalidate(self, key: str) -> None:
+        """Drop *key* from both tiers (used when an entry fails to decode)."""
+        if key in self.memory._entries:
+            self.memory._bytes -= len(self.memory._entries.pop(key).encode())
+        if self.disk is not None:
+            self.disk.invalidate(key)
+
+    def put(self, key: str, text: str) -> None:
+        """Store into both tiers."""
+        self.memory.put(key, text)
+        if self.disk is not None:
+            self.disk.put(key, text)
+
+    def clear(self) -> None:
+        """Drop every entry from both tiers."""
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()

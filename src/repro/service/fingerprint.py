@@ -1,0 +1,131 @@
+"""Canonical fingerprints for content-addressed compilation caching.
+
+CaQR compilation is deterministic given (circuit, backend calibration,
+mode/knobs, seed), so a stable digest of those inputs addresses the
+compiled result.  This module derives that digest:
+
+* :func:`circuit_normal_form` — a QASM-flavoured normal form of a circuit:
+  fixed header, one line per instruction carrying the gate name, shortest
+  round-trip float params, wire indices, classical condition, and label.
+  Two circuits share a normal form iff their instruction streams are
+  indistinguishable to every compiler pass.
+* :func:`graph_normal_form` — the analogue for QAOA problem graphs (node
+  count + sorted weighted edge list).
+* :func:`backend_digest` — SHA-256 over the sorted-key backend JSON
+  snapshot (:func:`repro.hardware.serialization.backend_to_json`), so any
+  calibration drift — a single CX error changing — yields a new digest.
+* :func:`request_fingerprint` — the cache key: SHA-256 over the canonical
+  JSON of the target digest, backend digest, and every semantic knob.
+
+The key deliberately **excludes** the engine-selection knobs
+(``incremental``/``parallel``): the differential property harnesses pin
+both engines to identical outputs, so either engine may serve the other's
+cache entry.  See ``docs/SERVICE.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional, Union
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.backends import Backend
+from repro.hardware.serialization import backend_to_json
+
+__all__ = [
+    "circuit_normal_form",
+    "circuit_digest",
+    "graph_normal_form",
+    "graph_digest",
+    "backend_digest",
+    "request_fingerprint",
+]
+
+
+def _fmt_float(value: float) -> str:
+    # repr() is the shortest string that round-trips the exact float
+    return repr(float(value))
+
+
+def circuit_normal_form(circuit: QuantumCircuit) -> str:
+    """Stable text normal form of *circuit* (QASM-like, one op per line)."""
+    lines = [f"qubits {circuit.num_qubits}", f"clbits {circuit.num_clbits}"]
+    for instruction in circuit.data:
+        parts = [instruction.name]
+        if instruction.params:
+            parts.append("(" + ",".join(_fmt_float(p) for p in instruction.params) + ")")
+        parts.append("q" + ",".join(str(q) for q in instruction.qubits))
+        if instruction.clbits:
+            parts.append("c" + ",".join(str(c) for c in instruction.clbits))
+        if instruction.condition is not None:
+            parts.append(f"if[{instruction.condition[0]}=={instruction.condition[1]}]")
+        if instruction.label is not None:
+            parts.append(f"label[{instruction.label}]")
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"
+
+
+def circuit_digest(circuit: QuantumCircuit) -> str:
+    """SHA-256 hex digest of :func:`circuit_normal_form`."""
+    return hashlib.sha256(circuit_normal_form(circuit).encode()).hexdigest()
+
+
+def graph_normal_form(graph: nx.Graph) -> str:
+    """Stable text normal form of a QAOA problem graph."""
+    lines = [f"nodes {graph.number_of_nodes()}"]
+    for a, b, data in sorted(
+        (min(u, v), max(u, v), d) for u, v, d in graph.edges(data=True)
+    ):
+        weight = data.get("weight")
+        suffix = f" w{_fmt_float(weight)}" if weight is not None else ""
+        lines.append(f"edge {a}-{b}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_digest(graph: nx.Graph) -> str:
+    """SHA-256 hex digest of :func:`graph_normal_form`."""
+    return hashlib.sha256(graph_normal_form(graph).encode()).hexdigest()
+
+
+def backend_digest(backend: Optional[Backend]) -> Optional[str]:
+    """SHA-256 over the canonical backend snapshot (``None`` stays ``None``).
+
+    The snapshot covers the coupling map, every calibration entry, and the
+    dynamic-circuit capability flag, so a new calibration snapshot — even a
+    single changed CX error or readout probability — invalidates every key
+    derived from the previous one.
+    """
+    if backend is None:
+        return None
+    return hashlib.sha256(backend_to_json(backend).encode()).hexdigest()
+
+
+def request_fingerprint(
+    target: Union[QuantumCircuit, nx.Graph],
+    backend: Optional[Backend] = None,
+    mode: str = "min_depth",
+    qubit_limit: Optional[int] = None,
+    reset_style: str = "cif",
+    seed: int = 11,
+    auto_commuting: bool = True,
+) -> str:
+    """The content-addressed cache key for one ``caqr_compile`` request."""
+    if isinstance(target, nx.Graph):
+        target_kind, target_hash = "graph", graph_digest(target)
+    else:
+        target_kind, target_hash = "circuit", circuit_digest(target)
+    payload: Dict[str, Any] = {
+        "target_kind": target_kind,
+        "target": target_hash,
+        "backend": backend_digest(backend),
+        "mode": mode,
+        "qubit_limit": qubit_limit,
+        "reset_style": reset_style,
+        "seed": seed,
+        "auto_commuting": bool(auto_commuting),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

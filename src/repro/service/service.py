@@ -1,0 +1,392 @@
+"""The compile service: content-addressed caching + batch compilation.
+
+:class:`CompileService` fronts :func:`repro.compile_api.caqr_compile`
+with the two-tier cache from :mod:`repro.service.cache`:
+
+* :meth:`CompileService.compile` — one request; serves warm fingerprints
+  from the cache, folds concurrent identical requests onto the single
+  in-flight compilation (thread-safe), and stores fresh results.
+* :meth:`CompileService.compile_batch` — many requests at once;
+  deduplicates identical members by fingerprint, probes the cache per
+  unique key, fans the remaining cold keys over a
+  ``ProcessPoolExecutor`` (the same fan-out idiom as
+  :class:`repro.core.evaluate.PairScorer` and ``SRCaQR.run``), and
+  returns reports in **input order** regardless of completion order.
+
+``from_cache`` semantics: a report carries ``from_cache=True`` when it
+was served from an entry (or an in-flight compilation) that this request
+did not itself pay for — cache hits, in-flight joins, and duplicate batch
+members.  The request that actually ran ``caqr_compile`` gets
+``from_cache=False``.  Every caller receives an independent report
+object; nothing mutable is shared between callers or with the cache.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from threading import Lock
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compile_api import CompileReport, caqr_compile
+from repro.exceptions import ServiceError
+from repro.hardware.backends import Backend
+from repro.service.cache import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    DiskCache,
+    MemoryCache,
+    TieredCache,
+)
+from repro.service.fingerprint import request_fingerprint
+from repro.service.serialization import dumps_entry, loads_entry
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "CompileRequest",
+    "CompileService",
+    "default_service",
+    "reset_default_service",
+    "resolve_cache",
+]
+
+
+@dataclass
+class CompileRequest:
+    """One ``caqr_compile`` invocation, as data.
+
+    The semantic knobs (everything except ``incremental``/``parallel``)
+    feed the fingerprint; the engine knobs only select *how* a cold
+    compile runs — the differential harnesses pin both engines to
+    identical outputs, so they never invalidate a key.
+    """
+
+    target: Union[QuantumCircuit, nx.Graph]
+    backend: Optional[Backend] = None
+    mode: str = "min_depth"
+    qubit_limit: Optional[int] = None
+    reset_style: str = "cif"
+    seed: int = 11
+    auto_commuting: bool = True
+    incremental: bool = True
+    parallel: bool = True
+
+    def fingerprint(self) -> str:
+        """The content-addressed cache key for this request."""
+        return request_fingerprint(
+            self.target,
+            backend=self.backend,
+            mode=self.mode,
+            qubit_limit=self.qubit_limit,
+            reset_style=self.reset_style,
+            seed=self.seed,
+            auto_commuting=self.auto_commuting,
+        )
+
+
+def _cold_compile(request: CompileRequest, allow_parallel: bool) -> CompileReport:
+    return caqr_compile(
+        request.target,
+        backend=request.backend,
+        mode=request.mode,
+        qubit_limit=request.qubit_limit,
+        reset_style=request.reset_style,
+        seed=request.seed,
+        auto_commuting=request.auto_commuting,
+        incremental=request.incremental,
+        parallel=request.parallel and allow_parallel,
+        cache=None,
+    )
+
+
+def _compile_entry_worker(args: Tuple[str, CompileRequest]) -> Tuple[str, str]:
+    """Pool worker: cold-compile one request, return its serialized entry.
+
+    Runs with ``parallel`` forced off so workers never nest process pools.
+    """
+    key, request = args
+    report = _cold_compile(request, allow_parallel=False)
+    return key, dumps_entry(key, report)
+
+
+class CompileService:
+    """Content-addressed compile cache + batch engine (thread-safe).
+
+    Args:
+        cache_dir: directory for the persistent tier; ``None`` keeps the
+            cache purely in-process.
+        memory_entries / memory_bytes: LRU caps of the in-process tier.
+        max_workers: process-pool cap for batch fan-out (default:
+            ``os.cpu_count()`` capped at 8, the repo-wide pool idiom).
+        stats: optional shared :class:`ServiceStats` sink.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        memory_entries: int = DEFAULT_MAX_ENTRIES,
+        memory_bytes: int = DEFAULT_MAX_BYTES,
+        max_workers: Optional[int] = None,
+        stats: Optional[ServiceStats] = None,
+    ):
+        self.stats = stats if stats is not None else ServiceStats()
+        memory = MemoryCache(memory_entries, memory_bytes, stats=self.stats)
+        disk = DiskCache(cache_dir, stats=self.stats) if cache_dir else None
+        self.cache = TieredCache(memory, disk)
+        self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
+        self._lock = Lock()
+        self._inflight: Dict[str, "Future[str]"] = {}
+
+    # -- single-request path -------------------------------------------------
+
+    def compile(
+        self,
+        target: Union[QuantumCircuit, nx.Graph],
+        backend: Optional[Backend] = None,
+        mode: str = "min_depth",
+        qubit_limit: Optional[int] = None,
+        reset_style: str = "cif",
+        seed: int = 11,
+        auto_commuting: bool = True,
+        incremental: bool = True,
+        parallel: bool = True,
+    ) -> CompileReport:
+        """Cached ``caqr_compile``: warm keys skip QS/SR entirely."""
+        return self.compile_request(
+            CompileRequest(
+                target=target,
+                backend=backend,
+                mode=mode,
+                qubit_limit=qubit_limit,
+                reset_style=reset_style,
+                seed=seed,
+                auto_commuting=auto_commuting,
+                incremental=incremental,
+                parallel=parallel,
+            )
+        )
+
+    def compile_request(self, request: CompileRequest) -> CompileReport:
+        """Serve one :class:`CompileRequest` through the cache."""
+        stats = self.stats
+        stats.count("requests")
+        with stats.timed("fingerprint"):
+            key = request.fingerprint()
+        report = self._lookup(key)
+        if report is not None:
+            stats.count("hits")
+            return report
+        primary, future = self._claim(key)
+        if not primary:
+            # identical request already compiling: join it
+            stats.count("dedup_folds")
+            with stats.timed("deserialize"):
+                return loads_entry(future.result(), key)
+        stats.count("misses")
+        try:
+            with stats.timed("compile"):
+                report = _cold_compile(request, allow_parallel=True)
+            text = self._store(key, report)
+            future.set_result(text)
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+        return report
+
+    # -- batch path ------------------------------------------------------------
+
+    def compile_batch(
+        self,
+        requests: Sequence[CompileRequest],
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> List[CompileReport]:
+        """Compile many requests; results come back in input order.
+
+        Identical members (same fingerprint) are folded to one
+        compilation; cache-warm keys are served without compiling; the
+        remaining cold keys fan out over a process pool when *parallel*
+        and more than one key is cold.
+        """
+        stats = self.stats
+        for request in requests:
+            if not isinstance(request, CompileRequest):
+                raise ServiceError(
+                    f"compile_batch expects CompileRequest members, "
+                    f"got {type(request).__name__}"
+                )
+        stats.count("batch_calls")
+        stats.count("batch_requests", len(requests))
+        stats.count("requests", len(requests))
+        with stats.timed("fingerprint"):
+            keys = [request.fingerprint() for request in requests]
+        unique: Dict[str, CompileRequest] = {}
+        for key, request in zip(keys, requests):
+            unique.setdefault(key, request)
+        stats.count("batch_unique", len(unique))
+        stats.count("dedup_folds", len(requests) - len(unique))
+
+        texts: Dict[str, str] = {}
+        fresh: set = set()
+        joined: Dict[str, "Future[str]"] = {}
+        owned: Dict[str, "Future[str]"] = {}
+        cold: List[Tuple[str, CompileRequest]] = []
+        for key, request in unique.items():
+            text = self._lookup_text(key)
+            if text is not None:
+                stats.count("hits")
+                texts[key] = text
+                continue
+            primary, future = self._claim(key)
+            if primary:
+                stats.count("misses")
+                owned[key] = future
+                cold.append((key, request))
+            else:
+                stats.count("dedup_folds")
+                joined[key] = future
+
+        try:
+            if cold:
+                workers = min(max_workers or self.max_workers, len(cold))
+                if parallel and len(cold) > 1 and workers > 1:
+                    stats.count("parallel_compiles", len(cold))
+                    with stats.timed("compile"):
+                        with ProcessPoolExecutor(max_workers=workers) as pool:
+                            for key, text in pool.map(_compile_entry_worker, cold):
+                                texts[key] = text
+                else:
+                    stats.count("serial_compiles", len(cold))
+                    for key, request in cold:
+                        with stats.timed("compile"):
+                            report = _cold_compile(request, allow_parallel=True)
+                        texts[key] = dumps_entry(key, report)
+                for key, _ in cold:
+                    with stats.timed("store"):
+                        self.cache.put(key, texts[key])
+                    fresh.add(key)
+                    owned[key].set_result(texts[key])
+        except BaseException as exc:
+            for key, future in owned.items():
+                if not future.done():
+                    future.set_exception(exc)
+            raise
+        finally:
+            with self._lock:
+                for key in owned:
+                    self._inflight.pop(key, None)
+
+        for key, future in joined.items():
+            texts[key] = future.result()
+
+        results: List[CompileReport] = []
+        first_fresh_seen: set = set()
+        for key in keys:
+            with stats.timed("deserialize"):
+                report = loads_entry(texts[key], key)
+            if key in fresh and key not in first_fresh_seen:
+                # the member that paid for the compilation
+                report.from_cache = False
+                first_fresh_seen.add(key)
+            results.append(report)
+        return results
+
+    # -- cache plumbing --------------------------------------------------------
+
+    def _lookup_entry(self, key: str) -> Optional[Tuple[str, CompileReport]]:
+        with self.stats.timed("lookup"):
+            text = self.cache.get(key)
+        if text is None:
+            return None
+        try:
+            # decode here: a corrupt entry must register as a miss,
+            # not blow up in the caller's hands
+            with self.stats.timed("deserialize"):
+                report = loads_entry(text, key)
+        except ServiceError:
+            # the tier counts corrupt_entries as it drops the bad file
+            self.cache.invalidate(key)
+            return None
+        return text, report
+
+    def _lookup_text(self, key: str) -> Optional[str]:
+        entry = self._lookup_entry(key)
+        return entry[0] if entry is not None else None
+
+    def _lookup(self, key: str) -> Optional[CompileReport]:
+        entry = self._lookup_entry(key)
+        return entry[1] if entry is not None else None
+
+    def _claim(self, key: str) -> Tuple[bool, "Future[str]"]:
+        """Register intent to compile *key*; False means someone beat us."""
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                return False, future
+            future = Future()
+            self._inflight[key] = future
+            return True, future
+
+    def _store(self, key: str, report: CompileReport) -> str:
+        with self.stats.timed("serialize"):
+            text = dumps_entry(key, report)
+        with self.stats.timed("store"):
+            self.cache.put(key, text)
+        self.stats.count("stores")
+        return text
+
+    def clear(self) -> None:
+        """Drop every cached entry (both tiers)."""
+        self.cache.clear()
+
+
+# -- the process-wide default service -----------------------------------------
+
+_default_service: Optional[CompileService] = None
+
+
+def default_service() -> CompileService:
+    """The lazily created process-wide service.
+
+    Its persistent tier lives under ``$CAQR_CACHE_DIR`` when that is set
+    at first use; otherwise the default service is memory-only.
+    """
+    global _default_service
+    if _default_service is None:
+        _default_service = CompileService(
+            cache_dir=os.environ.get("CAQR_CACHE_DIR") or None
+        )
+    return _default_service
+
+
+def reset_default_service() -> None:
+    """Forget the process-wide service (tests re-point ``CAQR_CACHE_DIR``)."""
+    global _default_service
+    _default_service = None
+
+
+def resolve_cache(
+    spec: Union[None, bool, str, CompileService]
+) -> Optional[CompileService]:
+    """Map ``caqr_compile``'s ``cache=`` argument onto a service.
+
+    ``None``/``False`` — no caching; ``True`` — the process-wide default
+    service; a string — a service persisting under that directory; a
+    :class:`CompileService` — itself.
+    """
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return default_service()
+    if isinstance(spec, CompileService):
+        return spec
+    if isinstance(spec, str):
+        return CompileService(cache_dir=spec)
+    raise ServiceError(f"unknown cache spec {spec!r}")

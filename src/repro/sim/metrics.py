@@ -43,7 +43,9 @@ def total_variation_distance(
     p_norm = normalize_counts(p) if any(v > 1 for v in p.values()) or abs(sum(p.values()) - 1) > 1e-6 else dict(p)
     q_norm = normalize_counts(q) if any(v > 1 for v in q.values()) or abs(sum(q.values()) - 1) > 1e-6 else dict(q)
     keys = set(p_norm) | set(q_norm)
-    return 0.5 * sum(abs(p_norm.get(k, 0.0) - q_norm.get(k, 0.0)) for k in keys)
+    tvd = 0.5 * sum(abs(p_norm.get(k, 0.0) - q_norm.get(k, 0.0)) for k in keys)
+    # float summation can land a hair outside the mathematical [0, 1] range
+    return min(1.0, max(0.0, tvd))
 
 
 def success_rate(counts: Mapping[str, int], correct: str) -> float:

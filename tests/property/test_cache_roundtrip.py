@@ -1,0 +1,135 @@
+"""Differential harness: warm-cache reports vs. cold compiles.
+
+The compile cache's contract is that serving a fingerprint from the
+store is *indistinguishable* from recompiling: every field of the
+:class:`~repro.compile_api.CompileReport` — the instruction stream, the
+metric sets, the benefit verdict, the router stats — must round-trip the
+serialization codec exactly.  The harness drives ``CAQR_CACHE_SAMPLES``
+random circuits (default 40, raise via the environment for nightly runs)
+through a cold compile and a warm lookup and fails loudly on the first
+field that drifts, printing the offending seed.
+"""
+
+import os
+
+import pytest
+
+from repro.circuit.random import random_circuit
+from repro.compile_api import caqr_compile
+from repro.hardware import ibm_mumbai
+from repro.service import CompileService
+from repro.workloads import bv_circuit, random_graph
+
+CACHE_SAMPLES = int(os.environ.get("CAQR_CACHE_SAMPLES", "40"))
+
+FIELDS = [
+    "mode",
+    "metrics",
+    "baseline_metrics",
+    "reuse_beneficial",
+    "qubit_saving",
+]
+# route_stats counters/gauges are deterministic across cold runs; its
+# *timers* are wall-clock, so they are only pinned warm-vs-primed (the
+# warm entry must replay the exact run that populated the cache)
+
+
+def _sample_circuit(seed: int):
+    """Mirror of the incremental-engine differential pool (3-6 qubits,
+    mixed gate pools, with and without terminal measurements)."""
+    num_qubits = 3 + seed % 4
+    num_gates = 6 + (seed * 7) % 12
+    return random_circuit(
+        num_qubits,
+        num_gates=num_gates,
+        seed=seed,
+        two_qubit_fraction=0.35 + 0.3 * ((seed // 4) % 2),
+        measure=seed % 3 != 0,
+    )
+
+
+def _assert_warm_equals_cold(target, context, service=None, **knobs):
+    service = service if service is not None else CompileService()
+    cold = caqr_compile(target, **knobs)
+    primed = service.compile(target, **knobs)
+    warm = service.compile(target, **knobs)
+    assert primed.from_cache is False, context
+    assert warm.from_cache is True, context
+    for report in (primed, warm):
+        label = "primed" if report is primed else "warm"
+        assert report.circuit.num_qubits == cold.circuit.num_qubits, (
+            f"{context}: {label} circuit width drifted"
+        )
+        assert report.circuit.num_clbits == cold.circuit.num_clbits, (
+            f"{context}: {label} clbit count drifted"
+        )
+        assert report.circuit.data == cold.circuit.data, (
+            f"{context}: {label} instruction stream drifted"
+        )
+        for name in FIELDS:
+            assert getattr(report, name) == getattr(cold, name), (
+                f"{context}: {label} field {name!r} drifted"
+            )
+        if cold.route_stats is None:
+            assert report.route_stats is None, context
+        else:
+            assert report.route_stats.counters == cold.route_stats.counters, (
+                f"{context}: {label} route counters drifted"
+            )
+            assert report.route_stats.values == cold.route_stats.values, (
+                f"{context}: {label} route gauges drifted"
+            )
+    # the warm report replays the primed run exactly, timers included
+    assert warm.route_stats == primed.route_stats, context
+
+
+@pytest.mark.parametrize("seed", range(CACHE_SAMPLES))
+def test_random_circuit_roundtrip(seed):
+    mode = "max_reuse" if seed % 2 else "min_depth"
+    _assert_warm_equals_cold(
+        _sample_circuit(seed), f"seed={seed} mode={mode}", mode=mode
+    )
+
+
+@pytest.mark.parametrize("seed", range(0, CACHE_SAMPLES, 5))
+def test_random_circuit_roundtrip_on_disk(seed, tmp_path):
+    """Same contract through the persistent tier (a fresh service reads
+    back what another instance wrote)."""
+    circuit = _sample_circuit(seed)
+    writer = CompileService(cache_dir=str(tmp_path))
+    cold = caqr_compile(circuit)
+    writer.compile(circuit)
+    reader = CompileService(cache_dir=str(tmp_path))
+    warm = reader.compile(circuit)
+    assert warm.from_cache is True
+    assert warm.circuit.data == cold.circuit.data, f"seed={seed}"
+    for name in FIELDS:
+        assert getattr(warm, name) == getattr(cold, name), (
+            f"seed={seed}: field {name!r} drifted across processes"
+        )
+
+
+def test_bv_budget_roundtrip():
+    _assert_warm_equals_cold(
+        bv_circuit(8), "bv8 budget", mode="qubit_budget", qubit_limit=2
+    )
+
+
+def test_graph_target_roundtrip():
+    _assert_warm_equals_cold(
+        random_graph(8, 0.3, seed=11), "qaoa graph", mode="max_reuse"
+    )
+
+
+def test_min_swap_roundtrip():
+    """Hardware-mapped reports (router stats attached) round-trip too."""
+    _assert_warm_equals_cold(
+        bv_circuit(6), "bv6 min_swap", backend=ibm_mumbai(), mode="min_swap"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(CACHE_SAMPLES, CACHE_SAMPLES + 20))
+def test_random_circuit_roundtrip_extended(seed):
+    """Nightly-only extension of the sample pool past the fast split."""
+    _assert_warm_equals_cold(_sample_circuit(seed), f"seed={seed}")

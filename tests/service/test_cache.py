@@ -1,0 +1,164 @@
+"""Cache tiers: LRU caps, disk persistence, corruption recovery."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import DiskCache, MemoryCache, ServiceStats, TieredCache
+
+
+class TestMemoryCache:
+    def test_get_put_roundtrip(self):
+        cache = MemoryCache()
+        assert cache.get("k") is None
+        cache.put("k", "payload")
+        assert cache.get("k") == "payload"
+
+    def test_entry_cap_evicts_lru(self):
+        cache = MemoryCache(max_entries=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", "3")
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.get("c") == "3"
+        assert cache.stats.counters["evictions"] == 1
+
+    def test_byte_cap_evicts(self):
+        cache = MemoryCache(max_entries=100, max_bytes=10)
+        cache.put("a", "xxxx")
+        cache.put("b", "yyyy")
+        cache.put("c", "zzzz")  # 12 bytes total -> a evicted
+        assert cache.get("a") is None
+        assert len(cache) == 2
+        assert cache.total_bytes == 8
+
+    def test_oversized_entry_not_cached(self):
+        cache = MemoryCache(max_bytes=4)
+        cache.put("big", "x" * 100)
+        assert cache.get("big") is None
+        assert len(cache) == 0
+
+    def test_replacing_updates_bytes(self):
+        cache = MemoryCache()
+        cache.put("k", "aaaa")
+        cache.put("k", "bb")
+        assert cache.total_bytes == 2
+        assert len(cache) == 1
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ServiceError):
+            MemoryCache(max_entries=0)
+        with pytest.raises(ServiceError):
+            MemoryCache(max_bytes=0)
+
+    def test_clear(self):
+        cache = MemoryCache()
+        cache.put("k", "v")
+        cache.clear()
+        assert cache.get("k") is None
+        assert cache.total_bytes == 0
+
+
+class TestDiskCache:
+    def test_roundtrip_across_instances(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("deadbeef", "payload")
+        again = DiskCache(str(tmp_path))
+        assert again.get("deadbeef") == "payload"
+        assert list(again.keys()) == ["deadbeef"]
+        assert again.total_bytes == len("payload")
+
+    def test_missing_key(self, tmp_path):
+        assert DiskCache(str(tmp_path)).get("nope") is None
+
+    def test_empty_file_treated_as_corrupt(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        (tmp_path / "abc.json").write_text("")
+        assert store.get("abc") is None
+        assert store.stats.counters["corrupt_entries"] == 1
+        assert not (tmp_path / "abc.json").exists()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("k1", "v1")
+        store.put("k1", "v2")  # overwrite goes through a fresh temp file
+        leftovers = [n for n in os.listdir(tmp_path) if n.startswith(".tmp-")]
+        assert leftovers == []
+        assert store.get("k1") == "v2"
+
+    def test_clear_returns_count(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("a", "1")
+        store.put("b", "2")
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_nested_directory_created(self, tmp_path):
+        nested = tmp_path / "deep" / "cache"
+        store = DiskCache(str(nested))
+        store.put("k", "v")
+        assert store.get("k") == "v"
+
+
+class TestTieredCache:
+    def test_disk_hit_promoted_to_memory(self, tmp_path):
+        stats = ServiceStats()
+        disk = DiskCache(str(tmp_path), stats=stats)
+        disk.put("k", "v")
+        tier = TieredCache(MemoryCache(stats=stats), disk)
+        assert tier.get("k") == "v"
+        assert stats.counters["disk_hits"] == 1
+        # second read is a memory hit
+        assert tier.get("k") == "v"
+        assert stats.counters["memory_hits"] == 1
+        assert stats.counters["disk_hits"] == 1
+
+    def test_put_reaches_both_tiers(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        tier = TieredCache(MemoryCache(), disk)
+        tier.put("k", "v")
+        assert disk.get("k") == "v"
+
+    def test_memory_only(self):
+        tier = TieredCache(MemoryCache())
+        tier.put("k", "v")
+        assert tier.get("k") == "v"
+        tier.clear()
+        assert tier.get("k") is None
+
+    def test_invalidate_drops_both_tiers(self, tmp_path):
+        tier = TieredCache(MemoryCache(), DiskCache(str(tmp_path)))
+        tier.put("k", "v")
+        tier.invalidate("k")
+        assert tier.get("k") is None
+        assert TieredCache(MemoryCache(), DiskCache(str(tmp_path))).get("k") is None
+
+
+class TestStats:
+    def test_rates_and_merge(self):
+        a = ServiceStats()
+        a.count("hits", 3)
+        a.count("misses", 1)
+        a.count("requests", 8)
+        a.count("dedup_folds", 4)
+        assert a.hit_rate == pytest.approx(0.75)
+        assert a.dedup_rate == pytest.approx(0.5)
+        b = ServiceStats()
+        b.count("hits", 1)
+        b.add_time("compile", 0.5)
+        b.set_value("memory_bytes", 10.0)
+        a.merge(b)
+        assert a.counters["hits"] == 4
+        assert a.timers["compile"] == pytest.approx(0.5)
+        assert "hits=4" in a.summary()
+        a.reset()
+        assert a.hit_rate == 0.0 and a.summary() == ""
+
+    def test_timed_context(self):
+        stats = ServiceStats()
+        with stats.timed("lookup"):
+            pass
+        assert stats.timers["lookup"] >= 0.0

@@ -1,0 +1,128 @@
+"""Cache-key contract: what keeps a fingerprint stable, what invalidates it."""
+
+import networkx as nx
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.hardware import ibm_mumbai, scaled_heavy_hex_backend
+from repro.service import (
+    backend_digest,
+    circuit_digest,
+    circuit_normal_form,
+    graph_digest,
+    request_fingerprint,
+)
+from repro.workloads import bv_circuit, random_graph
+
+
+class TestCircuitDigest:
+    def test_stable_across_rebuilds(self):
+        assert circuit_digest(bv_circuit(6)) == circuit_digest(bv_circuit(6))
+
+    def test_gate_change_invalidates(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.x(0)
+        assert circuit_digest(a) != circuit_digest(b)
+
+    def test_wire_change_invalidates(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.h(1)
+        assert circuit_digest(a) != circuit_digest(b)
+
+    def test_param_change_invalidates(self):
+        a = QuantumCircuit(1)
+        a.rz(0.5, 0)
+        b = QuantumCircuit(1)
+        b.rz(0.5 + 1e-15, 0)
+        assert circuit_digest(a) != circuit_digest(b)
+
+    def test_unused_width_is_significant(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(3)
+        b.h(0)
+        assert circuit_digest(a) != circuit_digest(b)
+
+    def test_condition_and_label_are_significant(self):
+        a = QuantumCircuit(1, 1)
+        a.x(0)
+        b = QuantumCircuit(1, 1)
+        b.x(0).c_if(0, 1)
+        c = QuantumCircuit(1, 1)
+        c.x(0).label = "tagged"
+        digests = {circuit_digest(a), circuit_digest(b)}
+        c_digest = circuit_digest(c)
+        assert len(digests) == 2 and c_digest not in digests
+
+    def test_normal_form_is_line_per_instruction(self):
+        circuit = bv_circuit(4)
+        lines = circuit_normal_form(circuit).strip().split("\n")
+        assert lines[0] == f"qubits {circuit.num_qubits}"
+        assert len(lines) == 2 + len(circuit.data)
+
+
+class TestGraphDigest:
+    def test_node_order_independent(self):
+        a = nx.Graph([(0, 1), (1, 2)])
+        b = nx.Graph([(1, 2), (1, 0)])
+        assert graph_digest(a) == graph_digest(b)
+
+    def test_edge_change_invalidates(self):
+        assert graph_digest(nx.path_graph(4)) != graph_digest(nx.cycle_graph(4))
+
+    def test_weights_are_significant(self):
+        a = nx.Graph()
+        a.add_edge(0, 1, weight=1.0)
+        b = nx.Graph()
+        b.add_edge(0, 1, weight=2.0)
+        assert graph_digest(a) != graph_digest(b)
+
+
+class TestBackendDigest:
+    def test_none_backend(self):
+        assert backend_digest(None) is None
+
+    def test_stable_for_same_snapshot(self):
+        assert backend_digest(ibm_mumbai()) == backend_digest(ibm_mumbai())
+
+    def test_calibration_drift_invalidates(self):
+        fresh = ibm_mumbai()
+        before = backend_digest(fresh)
+        edge = next(iter(fresh.calibration.cx_error))
+        fresh.calibration.cx_error[edge] *= 1.001
+        assert backend_digest(fresh) != before
+
+    def test_different_topology_invalidates(self):
+        assert backend_digest(ibm_mumbai()) != backend_digest(
+            scaled_heavy_hex_backend(2)
+        )
+
+
+class TestRequestFingerprint:
+    def test_semantic_knobs_invalidate(self):
+        circuit = bv_circuit(5)
+        base = request_fingerprint(circuit)
+        assert request_fingerprint(circuit, mode="max_reuse") != base
+        assert request_fingerprint(circuit, qubit_limit=3) != base
+        assert request_fingerprint(circuit, reset_style="builtin") != base
+        assert request_fingerprint(circuit, seed=12) != base
+        assert request_fingerprint(circuit, auto_commuting=False) != base
+        assert request_fingerprint(circuit, backend=ibm_mumbai()) != base
+
+    def test_graph_and_circuit_targets_never_collide(self):
+        # same digest text in a different kind must yield a different key
+        graph = random_graph(6, 0.4, seed=3)
+        circuit = bv_circuit(6)
+        assert request_fingerprint(graph) != request_fingerprint(circuit)
+
+    @pytest.mark.parametrize("mode", ["min_depth", "max_reuse", "min_swap"])
+    def test_repeatable(self, mode):
+        circuit = bv_circuit(4)
+        backend = ibm_mumbai()
+        assert request_fingerprint(circuit, backend, mode=mode) == (
+            request_fingerprint(circuit, backend, mode=mode)
+        )
