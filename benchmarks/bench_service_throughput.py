@@ -1,0 +1,154 @@
+"""Networked compile service: warm-hit throughput and batch fan-out.
+
+The HTTP front-end exists to share one cache and one in-flight dedup
+table across processes; the cost of that sharing is a loopback HTTP
+round trip per request.  This bench quantifies it:
+
+* **warm-hit req/s** — single-threaded and 8-thread request rates
+  against a ``CompileServer`` serving a warm fingerprint, next to the
+  in-process ``CompileService`` rate for the same lookups.  The wire
+  adds serialization + a socket round trip, so remote throughput is a
+  fraction of in-process — the bar only insists the service stays
+  usable (>= ``MIN_REMOTE_RPS`` warm hits/s);
+* **batch fan-out** — one ``/v1/compile_batch`` call with 9 members /
+  3 unique fingerprints vs. 9 sequential remote requests, asserting the
+  server-side dedup counters fold the duplicates.
+
+Run with
+``PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py``.
+"""
+
+import threading
+import time
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.service import (
+    CompileRequest,
+    CompileService,
+    RemoteCompileService,
+    start_server_thread,
+)
+from repro.workloads import bv_circuit
+
+# floor for warm hits through the loopback HTTP stack; local measurement
+# is ~2 orders of magnitude higher, the bar just catches pathologies
+MIN_REMOTE_RPS = 20.0
+
+WARM_REQUESTS = 200
+HAMMER_THREADS = 8
+
+
+def _rps(count: int, seconds: float) -> float:
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def _measure_warm_hits(handle):
+    request = CompileRequest(target=bv_circuit(16))
+
+    local = CompileService()
+    local.compile_request(request)
+    start = time.perf_counter()
+    for _ in range(WARM_REQUESTS):
+        local.compile_request(request)
+    local_rps = _rps(WARM_REQUESTS, time.perf_counter() - start)
+
+    client = RemoteCompileService(handle.url, timeout=120)
+    client.compile_request(request)  # prime the server cache
+    start = time.perf_counter()
+    for _ in range(WARM_REQUESTS):
+        report = client.compile_request(request)
+    remote_rps = _rps(WARM_REQUESTS, time.perf_counter() - start)
+    assert report.from_cache is True
+    client.close()
+
+    def hammer(n):
+        worker = RemoteCompileService(handle.url, timeout=120)
+        for _ in range(n):
+            worker.compile_request(request)
+        worker.close()
+
+    per_thread = WARM_REQUESTS // HAMMER_THREADS
+    threads = [
+        threading.Thread(target=hammer, args=(per_thread,))
+        for _ in range(HAMMER_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    hammered_rps = _rps(
+        per_thread * HAMMER_THREADS, time.perf_counter() - start
+    )
+    return local_rps, remote_rps, hammered_rps
+
+
+def _measure_batch(handle):
+    circuits = [bv_circuit(n) for n in (14, 16, 18)]
+    requests = [CompileRequest(target=circuits[i % 3]) for i in range(9)]
+    client = RemoteCompileService(handle.url, timeout=300)
+
+    start = time.perf_counter()
+    for request in requests:
+        client.compile_request(request)
+    t_sequential = time.perf_counter() - start  # 3 cold + 6 warm round trips
+
+    client.clear()
+    before = dict(handle.server.service.stats.counters)
+    start = time.perf_counter()
+    reports = client.compile_batch(requests)
+    t_batch = time.perf_counter() - start
+    after = handle.server.service.stats.counters
+    folds = after.get("dedup_folds", 0) - before.get("dedup_folds", 0)
+    misses = after.get("misses", 0) - before.get("misses", 0)
+    assert folds == 6, f"server must fold the 6 duplicate members, saw {folds}"
+    assert misses == 3, f"server must compile 3 uniques, saw {misses}"
+    assert [r.circuit.num_qubits for r in reports] == [
+        r.target.num_qubits for r in requests
+    ]
+    client.close()
+    return t_sequential, t_batch
+
+
+def _measure():
+    handle = start_server_thread(service=CompileService())
+    try:
+        warm = _measure_warm_hits(handle)
+        batch = _measure_batch(handle)
+        counters = dict(handle.server.service.stats.counters)
+    finally:
+        handle.stop()
+    return warm, batch, counters
+
+
+def test_service_throughput(benchmark):
+    (local_rps, remote_rps, hammered_rps), (t_seq, t_batch), counters = once(
+        benchmark, _measure
+    )
+    table = format_table(
+        ["path", "warm req/s"],
+        [
+            ["in-process", f"{local_rps:.0f}"],
+            ["remote, 1 thread", f"{remote_rps:.0f}"],
+            [f"remote, {HAMMER_THREADS} threads", f"{hammered_rps:.0f}"],
+        ],
+    )
+    batch_line = (
+        f"batch fan-out: 9 members / 3 unique in one POST -> "
+        f"{t_batch:.2f}s vs {t_seq:.2f}s for 9 sequential round trips"
+    )
+    emit(
+        "service_throughput",
+        table
+        + "\n\n"
+        + batch_line
+        + f"\n\nserver counters: http_requests={counters.get('http_requests')}, "
+        f"hits={counters.get('hits')}, misses={counters.get('misses')}, "
+        f"dedup_folds={counters.get('dedup_folds')}",
+    )
+    assert remote_rps >= MIN_REMOTE_RPS, (
+        f"remote warm hits only {remote_rps:.1f} req/s "
+        f"(need >= {MIN_REMOTE_RPS})"
+    )

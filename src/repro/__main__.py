@@ -7,10 +7,14 @@ CLI section mirrors these and ``tests/test_docs.py`` parses both)::
     python -m repro compile circuit.qasm --mode min_swap --backend mumbai \
         --output compiled.qasm --draw
     python -m repro compile bv_20 --cache          # content-addressed cache
+    python -m repro compile bv_20 --server http://127.0.0.1:8787
+    python -m repro serve --port 8787 --cache-dir /tmp/caqr-cache
     python -m repro sweep circuit.qasm --backend mumbai
     python -m repro benchmarks            # list bundled benchmark names
     python -m repro cache stats           # inspect the on-disk cache
+    python -m repro cache stats --server http://127.0.0.1:8787
     python -m repro cache clear
+    python -m repro cache clear --key <fingerprint>
 """
 
 from __future__ import annotations
@@ -49,7 +53,13 @@ def _load_circuit(path: str):
 
 
 def _cache_spec(args: argparse.Namespace):
-    """Map --cache/--cache-dir onto ``caqr_compile``'s ``cache=`` value."""
+    """Map --server/--cache/--cache-dir onto ``caqr_compile``'s ``cache=``.
+
+    A ``--server URL`` routes the compile through a running ``repro
+    serve`` instance (``resolve_cache`` turns the URL into a
+    :class:`~repro.service.net.client.RemoteCompileService`)."""
+    if getattr(args, "server", None):
+        return args.server
     if getattr(args, "cache_dir", None):
         return args.cache_dir
     return bool(getattr(args, "cache", False))
@@ -157,6 +167,19 @@ def _cache_directory(args: argparse.Namespace) -> str:
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     from repro.service import SCHEMA_VERSION, DiskCache
 
+    if getattr(args, "server", None):
+        from repro.service import RemoteCompileService
+
+        payload = RemoteCompileService(args.server).stats()
+        counters = payload.get("stats", {}).get("counters", {})
+        rows = [["server", args.server]]
+        rows.extend([name, counters[name]] for name in sorted(counters))
+        for shard, usage in sorted(payload.get("shards", {}).items()):
+            rows.append(
+                [f"shard {shard}", f"{usage['entries']} entries, {usage['bytes']} B"]
+            )
+        print(format_table(["field", "value"], rows, title="compile service"))
+        return 0
     store = DiskCache(_cache_directory(args))
     rows = [
         ["directory", store.directory],
@@ -164,6 +187,10 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         ["bytes", store.total_bytes],
         ["schema version", SCHEMA_VERSION],
     ]
+    for shard, usage in sorted(store.shard_stats().items()):
+        rows.append(
+            [f"shard {shard}", f"{usage['entries']} entries, {usage['bytes']} B"]
+        )
     print(format_table(["field", "value"], rows, title="compile cache"))
     return 0
 
@@ -171,10 +198,45 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
     from repro.service import DiskCache
 
+    key = getattr(args, "key", None)
+    if getattr(args, "server", None):
+        from repro.service import RemoteCompileService
+
+        client = RemoteCompileService(args.server)
+        if key:
+            removed = client.invalidate(key)
+            print(
+                f"invalidated {key} on {args.server}"
+                if removed
+                else f"no entry {key} on {args.server}"
+            )
+        else:
+            client.clear()
+            print(f"cleared the cache on {args.server}")
+        return 0
     store = DiskCache(_cache_directory(args))
+    if key:
+        removed = store.invalidate(key)
+        print(f"removed {removed} entries for {key} from {store.directory}")
+        return 0
     removed = store.clear()
     print(f"removed {removed} cache entries from {store.directory}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir or os.environ.get("CAQR_CACHE_DIR") or None,
+        ttl=args.ttl,
+        max_workers=args.workers,
+        max_concurrency=args.max_concurrency,
+        request_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist the compile cache under DIR (implies --cache)",
     )
+    compile_parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="compile through a running `repro serve` instance "
+        "(shared cross-process cache; overrides --cache/--cache-dir)",
+    )
     compile_parser.set_defaults(func=_cmd_compile)
 
     sweep_parser = sub.add_parser(
@@ -249,13 +318,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", default=None, metavar="DIR",
         help="cache directory (default: $CAQR_CACHE_DIR)",
     )
+    cache_stats.add_argument(
+        "--server", default=None, metavar="URL",
+        help="read /v1/stats from a running `repro serve` instance instead",
+    )
     cache_stats.set_defaults(func=_cmd_cache_stats)
-    cache_clear = cache_sub.add_parser("clear", help="remove every entry")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove every entry (or one fingerprint with --key)"
+    )
     cache_clear.add_argument(
         "--dir", default=None, metavar="DIR",
         help="cache directory (default: $CAQR_CACHE_DIR)",
     )
+    cache_clear.add_argument(
+        "--key", default=None, metavar="FINGERPRINT",
+        help="invalidate one fingerprint instead of the whole store",
+    )
+    cache_clear.add_argument(
+        "--server", default=None, metavar="URL",
+        help="invalidate on a running `repro serve` instance instead",
+    )
     cache_clear.set_defaults(func=_cmd_cache_clear)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP compile service (shared cache + dedup)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8787, help="0 picks a free port"
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent cache directory (default: $CAQR_CACHE_DIR, "
+        "else memory-only)",
+    )
+    serve_parser.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="expire cache entries older than this",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="compile worker threads (default: cpu count, capped at 8)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency", type=int, default=32,
+        help="admitted compile requests before answering 429",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-request compile timeout in seconds (answers 504)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -56,3 +56,19 @@ class ServiceError(ReproError):
     as misses and recompiles; this error covers caller mistakes (unknown
     cache spec, malformed batch request).
     """
+
+
+class RemoteServiceError(ServiceError):
+    """Raised when a networked compile request fails for good.
+
+    Carries the typed wire-protocol error *code* (see
+    :data:`repro.service.net.wire.ERROR_CODES`) and the HTTP *status*
+    the server answered with (``0`` when no response arrived at all),
+    so callers can branch on the failure class — e.g. fall back to a
+    local compile on ``connect_error`` but surface ``compile_error``.
+    """
+
+    def __init__(self, message: str, code: str = "internal", status: int = 0):
+        super().__init__(message)
+        self.code = code
+        self.status = status

@@ -6,12 +6,15 @@ deterministic compilation inputs are fingerprinted
 (:mod:`repro.service.serialization`) in a two-tier LRU/disk cache
 (:mod:`repro.service.cache`), and :class:`CompileService`
 (:mod:`repro.service.service`) serves single requests, folds concurrent
-duplicates, and fans batches over a process pool.  See
-``docs/SERVICE.md`` for the cache-key contract and
+duplicates, and fans batches over a process pool.  The networked
+front-end (:mod:`repro.service.net`) shares one such service across
+processes over HTTP: :class:`CompileServer` hosts it, and
+:class:`RemoteCompileService` is the drop-in client twin.  See
+``docs/SERVICE.md`` for the cache-key and wire contracts and
 ``docs/ARCHITECTURE.md`` for where this layer sits.
 """
 
-from repro.service.cache import DiskCache, MemoryCache, TieredCache
+from repro.service.cache import DEFAULT_SHARD, DiskCache, MemoryCache, TieredCache
 from repro.service.fingerprint import (
     backend_digest,
     circuit_digest,
@@ -36,16 +39,37 @@ from repro.service.service import (
     reset_default_service,
     resolve_cache,
 )
+from repro.service.net import (
+    CACHE_STATUSES,
+    ERROR_CODES,
+    WIRE_SCHEMA_VERSION,
+    CompileServer,
+    RemoteCompileService,
+    ServerHandle,
+    WireError,
+    run_server,
+    start_server_thread,
+)
 from repro.service.stats import ServiceStats
 
 __all__ = [
     "CompileRequest",
     "CompileService",
+    "CompileServer",
+    "RemoteCompileService",
+    "ServerHandle",
+    "WireError",
+    "run_server",
+    "start_server_thread",
     "ServiceStats",
     "MemoryCache",
     "DiskCache",
     "TieredCache",
+    "DEFAULT_SHARD",
     "SCHEMA_VERSION",
+    "WIRE_SCHEMA_VERSION",
+    "CACHE_STATUSES",
+    "ERROR_CODES",
     "default_service",
     "reset_default_service",
     "resolve_cache",

@@ -7,51 +7,77 @@ caller an independent deserialized report (no aliasing of mutable
 circuits between callers), and the memory and disk tiers stay trivially
 interchangeable.
 
-* :class:`MemoryCache` — in-process LRU with entry *and* byte caps.
-* :class:`DiskCache` — one ``<key>.json`` per entry under a user
-  directory (``CAQR_CACHE_DIR``), written atomically (temp file +
-  ``os.replace``) so a crashed writer can never leave a half entry under
-  the final name; loads are corruption-tolerant — unreadable, truncated,
-  or stale-schema files count as misses and are deleted.
+* :class:`MemoryCache` — in-process LRU with entry *and* byte caps, and
+  an optional TTL (expired entries count as misses and are dropped).
+* :class:`DiskCache` — one ``<shard>/<key>.json`` per entry under a user
+  directory (``CAQR_CACHE_DIR``), **sharded by backend calibration
+  digest**: every calibration snapshot gets its own subdirectory
+  (requests without a backend share the :data:`DEFAULT_SHARD` one), so
+  multi-device sweeps never contend on one directory and per-device
+  eviction/invalidation stays a directory operation.  Legacy flat
+  ``<key>.json`` entries written before sharding are migrated into
+  their shard lazily, on first lookup.  Writes are atomic (temp file +
+  ``os.replace``) so a crashed writer can never leave a half entry
+  under the final name; loads are corruption-tolerant — unreadable,
+  truncated, stale-schema, or TTL-expired files count as misses and
+  are deleted.
 * :class:`TieredCache` — memory in front of optional disk, promoting
   disk hits into the memory tier.
+
+Explicit invalidation (`invalidate`) and TTL expiry are the groundwork
+for calibration-drift policies: a drifted snapshot can be retired by
+fingerprint (``POST /v1/cache/invalidate``, ``repro cache clear
+--key``) or aged out wholesale without touching other shards.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import time
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import ServiceError
 from repro.service.stats import ServiceStats
 
-__all__ = ["MemoryCache", "DiskCache", "TieredCache"]
+__all__ = ["DEFAULT_SHARD", "MemoryCache", "DiskCache", "TieredCache"]
 
 DEFAULT_MAX_ENTRIES = 256
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Shard for requests with no backend (logical-level compiles).
+DEFAULT_SHARD = "nobackend"
 
 _ENTRY_SUFFIX = ".json"
 
 
 class MemoryCache:
-    """In-process LRU keyed by fingerprint, capped by entries and bytes."""
+    """In-process LRU keyed by fingerprint, capped by entries and bytes.
+
+    ``ttl`` (seconds) ages entries out on lookup: an entry older than
+    the TTL counts as a miss (``expired_entries``) and is dropped.
+    """
 
     def __init__(
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         max_bytes: int = DEFAULT_MAX_BYTES,
         stats: Optional[ServiceStats] = None,
+        ttl: Optional[float] = None,
     ):
         if max_entries < 1:
             raise ServiceError("memory cache needs max_entries >= 1")
         if max_bytes < 1:
             raise ServiceError("memory cache needs max_bytes >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ServiceError("memory cache needs ttl > 0 (or None)")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.ttl = ttl
         self.stats = stats if stats is not None else ServiceStats()
         self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self._stamps: Dict[str, float] = {}
         self._bytes = 0
 
     def __len__(self) -> int:
@@ -66,6 +92,13 @@ class MemoryCache:
         """Return the entry text for *key* (refreshing LRU order) or None."""
         text = self._entries.get(key)
         if text is None:
+            return None
+        if (
+            self.ttl is not None
+            and time.monotonic() - self._stamps.get(key, 0.0) > self.ttl
+        ):
+            self.invalidate(key)
+            self.stats.count("expired_entries")
             return None
         self._entries.move_to_end(key)
         self.stats.count("memory_hits")
@@ -83,36 +116,70 @@ class MemoryCache:
         if key in self._entries:
             self._bytes -= len(self._entries.pop(key).encode())
         self._entries[key] = text
+        self._stamps[key] = time.monotonic()
         self._bytes += size
         while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
-            _, evicted = self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._stamps.pop(evicted_key, None)
             self._bytes -= len(evicted.encode())
             self.stats.count("evictions")
         self.stats.set_value("memory_entries", len(self._entries))
         self.stats.set_value("memory_bytes", self._bytes)
 
+    def invalidate(self, key: str) -> bool:
+        """Drop *key* if present; return whether anything was removed."""
+        text = self._entries.pop(key, None)
+        self._stamps.pop(key, None)
+        if text is None:
+            return False
+        self._bytes -= len(text.encode())
+        self.stats.set_value("memory_entries", len(self._entries))
+        self.stats.set_value("memory_bytes", self._bytes)
+        return True
+
     def clear(self) -> None:
         """Drop every entry."""
         self._entries.clear()
+        self._stamps.clear()
         self._bytes = 0
         self.stats.set_value("memory_entries", 0)
         self.stats.set_value("memory_bytes", 0)
 
 
 class DiskCache:
-    """On-disk entry store: ``<directory>/<key>.json``, atomic writes."""
+    """On-disk entry store: ``<directory>/<shard>/<key>.json``, atomic writes.
 
-    def __init__(self, directory: str, stats: Optional[ServiceStats] = None):
+    *shard* is the backend calibration digest prefix the service derives
+    per request (:meth:`~repro.service.service.CompileRequest.shard`);
+    callers that don't track shards (direct tooling, tests) get
+    :data:`DEFAULT_SHARD`.  Flat ``<directory>/<key>.json`` entries from
+    the pre-shard layout keep working: lookups fall back to the flat
+    path and migrate the file into its shard (``migrated_entries``).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        stats: Optional[ServiceStats] = None,
+        ttl: Optional[float] = None,
+    ):
+        if ttl is not None and ttl <= 0:
+            raise ServiceError("disk cache needs ttl > 0 (or None)")
         self.directory = os.path.abspath(os.path.expanduser(directory))
         self.stats = stats if stats is not None else ServiceStats()
+        self.ttl = ttl
         os.makedirs(self.directory, exist_ok=True)
 
-    def _path(self, key: str) -> str:
+    def _shard_dir(self, shard: Optional[str]) -> str:
+        return os.path.join(self.directory, shard or DEFAULT_SHARD)
+
+    def _path(self, key: str, shard: Optional[str] = None) -> str:
+        return os.path.join(self._shard_dir(shard), key + _ENTRY_SUFFIX)
+
+    def _legacy_path(self, key: str) -> str:
         return os.path.join(self.directory, key + _ENTRY_SUFFIX)
 
-    def get(self, key: str) -> Optional[str]:
-        """Return the entry text for *key*, dropping unreadable files."""
-        path = self._path(key)
+    def _read(self, path: str) -> Optional[str]:
         try:
             with open(path, encoding="utf-8") as handle:
                 text = handle.read()
@@ -122,6 +189,39 @@ class DiskCache:
             # zero-length or whitespace file: an interrupted non-atomic
             # writer (or filesystem fault) — purge and recompile
             self._drop_corrupt(path)
+            return None
+        return text
+
+    def _expired(self, path: str) -> bool:
+        if self.ttl is None:
+            return False
+        try:
+            return time.time() - os.path.getmtime(path) > self.ttl
+        except OSError:
+            return False
+
+    def get(self, key: str, shard: Optional[str] = None) -> Optional[str]:
+        """Return the entry text for *key*, dropping unreadable files."""
+        path = self._path(key, shard)
+        text = self._read(path)
+        if text is None:
+            legacy = self._legacy_path(key)
+            text = self._read(legacy)
+            if text is None:
+                return None
+            # lazy migration of a pre-shard flat entry into its shard
+            try:
+                os.makedirs(self._shard_dir(shard), exist_ok=True)
+                os.replace(legacy, path)
+                self.stats.count("migrated_entries")
+            except OSError:
+                path = legacy  # best effort; serve the entry in place
+        if self._expired(path):
+            self.stats.count("expired_entries")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             return None
         self.stats.count("disk_hits")
         return text
@@ -133,15 +233,48 @@ class DiskCache:
         except OSError:
             pass
 
-    def invalidate(self, key: str) -> None:
-        """Remove *key*'s file, counting it as corrupt (caller found it bad)."""
-        self._drop_corrupt(self._path(key))
+    def drop_corrupt(self, key: str, shard: Optional[str] = None) -> None:
+        """Remove *key*'s file(s) because the caller found the entry bad."""
+        dropped = False
+        for path in (self._path(key, shard), self._legacy_path(key)):
+            if os.path.exists(path):
+                self._drop_corrupt(path)
+                dropped = True
+        if not dropped:
+            # the bad text reached the caller some other way (e.g. an
+            # already-promoted memory copy); still account for it
+            self.stats.count("corrupt_entries")
 
-    def put(self, key: str, text: str) -> None:
+    def invalidate(self, key: str, shard: Optional[str] = None) -> int:
+        """Explicitly remove *key*; return how many files were deleted.
+
+        With *shard* unknown (``None``) every shard directory is probed —
+        the HTTP invalidation endpoint only carries the fingerprint.
+        """
+        if shard is not None:
+            candidates = [self._path(key, shard), self._legacy_path(key)]
+        else:
+            candidates = [self._legacy_path(key)] + [
+                self._path(key, name) for name in self.shards()
+            ]
+        removed = 0
+        for path in candidates:
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            self.stats.count("invalidated_entries", removed)
+        return removed
+
+    def put(self, key: str, text: str, shard: Optional[str] = None) -> None:
         """Atomically persist *key* (temp file + rename; never half-written)."""
-        path = self._path(key)
+        shard_dir = self._shard_dir(shard)
+        os.makedirs(shard_dir, exist_ok=True)
+        path = self._path(key, shard)
         fd, tmp_path = tempfile.mkstemp(
-            prefix=".tmp-" + key[:16] + "-", dir=self.directory
+            prefix=".tmp-" + key[:16] + "-", dir=shard_dir
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -155,23 +288,93 @@ class DiskCache:
             raise
         self.stats.add_value("disk_bytes_written", len(text.encode()))
 
-    def keys(self) -> Iterator[str]:
-        """Yield every stored fingerprint."""
+    def shards(self) -> List[str]:
+        """Sorted shard directory names currently on disk."""
         try:
             names = os.listdir(self.directory)
         except OSError:
+            return []
+        return sorted(
+            name
+            for name in names
+            if not name.startswith(".")
+            and os.path.isdir(os.path.join(self.directory, name))
+        )
+
+    def _iter_entries(self) -> Iterator[Tuple[Optional[str], str, str]]:
+        """Yield ``(shard_or_None, key, path)`` for every stored entry
+        (``None`` marks a legacy flat entry)."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
             return
-        for name in sorted(names):
-            if name.endswith(_ENTRY_SUFFIX) and not name.startswith("."):
-                yield name[: -len(_ENTRY_SUFFIX)]
+        for name in names:
+            if name.startswith("."):
+                continue
+            path = os.path.join(self.directory, name)
+            if name.endswith(_ENTRY_SUFFIX) and os.path.isfile(path):
+                yield None, name[: -len(_ENTRY_SUFFIX)], path
+        for shard in self.shards():
+            shard_dir = os.path.join(self.directory, shard)
+            try:
+                entries = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in entries:
+                if name.endswith(_ENTRY_SUFFIX) and not name.startswith("."):
+                    yield shard, name[: -len(_ENTRY_SUFFIX)], os.path.join(
+                        shard_dir, name
+                    )
+
+    def keys(self) -> Iterator[str]:
+        """Yield every stored fingerprint (all shards, deduplicated)."""
+        seen = set()
+        for _, key, _ in self._iter_entries():
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+    def shard_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard entry/byte usage (legacy flat files under ``"legacy"``)."""
+        usage: Dict[str, Dict[str, int]] = {}
+        for shard, _, path in self._iter_entries():
+            bucket = usage.setdefault(
+                shard if shard is not None else "legacy",
+                {"entries": 0, "bytes": 0},
+            )
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return usage
+
+    def refresh_shard_gauges(self) -> Dict[str, Dict[str, int]]:
+        """Scan the store and publish ``shard_entries:<id>`` /
+        ``shard_bytes:<id>`` gauges into :attr:`stats`; gauges of shards
+        that vanished since the last refresh are removed."""
+        usage = self.shard_stats()
+        stale = [
+            name
+            for name in self.stats.values
+            if name.startswith(("shard_entries:", "shard_bytes:"))
+            and name.split(":", 1)[1] not in usage
+        ]
+        for name in stale:
+            del self.stats.values[name]
+        for shard, info in usage.items():
+            self.stats.set_value(f"shard_entries:{shard}", info["entries"])
+            self.stats.set_value(f"shard_bytes:{shard}", info["bytes"])
+        return usage
 
     @property
     def total_bytes(self) -> int:
         """Summed size of every stored entry file."""
         total = 0
-        for key in self.keys():
+        for _, _, path in self._iter_entries():
             try:
-                total += os.path.getsize(self._path(key))
+                total += os.path.getsize(path)
             except OSError:
                 pass
         return total
@@ -180,11 +383,11 @@ class DiskCache:
         return sum(1 for _ in self.keys())
 
     def clear(self) -> int:
-        """Remove every entry file; return how many were removed."""
+        """Remove every entry file (all shards); return how many."""
         removed = 0
-        for key in list(self.keys()):
+        for _, _, path in list(self._iter_entries()):
             try:
-                os.remove(self._path(key))
+                os.remove(path)
                 removed += 1
             except OSError:
                 pass
@@ -198,30 +401,38 @@ class TieredCache:
         self.memory = memory
         self.disk = disk
 
-    def get(self, key: str) -> Optional[str]:
+    def get(self, key: str, shard: Optional[str] = None) -> Optional[str]:
         """Probe memory then disk; promote disk hits into memory."""
         text = self.memory.get(key)
         if text is not None:
             return text
         if self.disk is not None:
-            text = self.disk.get(key)
+            text = self.disk.get(key, shard)
             if text is not None:
                 self.memory.put(key, text)
                 return text
         return None
 
-    def invalidate(self, key: str) -> None:
-        """Drop *key* from both tiers (used when an entry fails to decode)."""
-        if key in self.memory._entries:
-            self.memory._bytes -= len(self.memory._entries.pop(key).encode())
+    def invalidate(self, key: str, shard: Optional[str] = None) -> bool:
+        """Explicitly drop *key* from both tiers; True if anything went."""
+        removed = self.memory.invalidate(key)
         if self.disk is not None:
-            self.disk.invalidate(key)
+            removed = bool(self.disk.invalidate(key, shard)) or removed
+        return removed
 
-    def put(self, key: str, text: str) -> None:
+    def drop_corrupt(self, key: str, shard: Optional[str] = None) -> None:
+        """Drop *key* from both tiers because its entry failed to decode."""
+        self.memory.invalidate(key)
+        if self.disk is not None:
+            self.disk.drop_corrupt(key, shard)
+        else:
+            self.memory.stats.count("corrupt_entries")
+
+    def put(self, key: str, text: str, shard: Optional[str] = None) -> None:
         """Store into both tiers."""
         self.memory.put(key, text)
         if self.disk is not None:
-            self.disk.put(key, text)
+            self.disk.put(key, text, shard)
 
     def clear(self) -> None:
         """Drop every entry from both tiers."""

@@ -1,0 +1,60 @@
+"""Networked front-end for the compile service.
+
+Three modules, strictly layered:
+
+* :mod:`repro.service.net.wire` — schema-versioned JSON envelopes and
+  typed error codes (shared vocabulary; imports neither peer);
+* :mod:`repro.service.net.server` — stdlib asyncio HTTP/1.1 server
+  fronting one :class:`~repro.service.service.CompileService`;
+* :mod:`repro.service.net.client` — blocking ``http.client`` client
+  exposing the same compile surface as the local service.
+
+``caqr_compile(cache="http://host:port")`` resolves to a
+:class:`RemoteCompileService` automatically; ``repro serve`` runs the
+server from the command line.
+"""
+
+from repro.service.net.client import RETRYABLE_CODES, RemoteCompileService
+from repro.service.net.server import (
+    DEFAULT_PORT,
+    CompileServer,
+    ServerHandle,
+    run_server,
+    start_server_thread,
+)
+from repro.service.net.wire import (
+    CACHE_STATUSES,
+    ERROR_CODES,
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    error_from_wire,
+    error_to_wire,
+    graph_from_dict,
+    graph_to_dict,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+)
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "CACHE_STATUSES",
+    "ERROR_CODES",
+    "DEFAULT_PORT",
+    "WireError",
+    "CompileServer",
+    "ServerHandle",
+    "RemoteCompileService",
+    "RETRYABLE_CODES",
+    "run_server",
+    "start_server_thread",
+    "graph_to_dict",
+    "graph_from_dict",
+    "request_to_wire",
+    "request_from_wire",
+    "response_to_wire",
+    "response_from_wire",
+    "error_to_wire",
+    "error_from_wire",
+]

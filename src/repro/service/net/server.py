@@ -1,0 +1,627 @@
+"""Asyncio HTTP/1.1 front-end for :class:`~repro.service.service.CompileService`.
+
+One ``repro serve`` process owns one compile cache and one in-flight
+dedup table; any number of client processes
+(:class:`~repro.service.net.client.RemoteCompileService`, or anything
+speaking the :mod:`repro.service.net.wire` protocol) share them — the
+multi-process upgrade of PR 4's in-process service.  Stdlib only: the
+server is ``asyncio.start_server`` plus a minimal HTTP/1.1 read loop
+(keep-alive, ``Content-Length`` bodies; no chunked encoding).
+
+Endpoints
+---------
+
+===========================  ======================================================
+``GET  /v1/health``          liveness + draining flag (always answered, even
+                             mid-drain)
+``GET  /v1/stats``           :class:`ServiceStats` snapshot + per-shard disk usage
+``POST /v1/compile``         one request envelope -> one response envelope, with
+                             ``X-CaQR-Fingerprint`` and ``X-CaQR-Cache:
+                             hit|miss|inflight`` headers
+``POST /v1/compile_batch``   ``{"requests": [...], "parallel": bool}`` -> results
+                             in input order (duplicates folded server-side)
+``POST /v1/cache/invalidate``  ``{"fingerprint": ...}`` or ``{"all": true}``
+===========================  ======================================================
+
+Operational behaviour:
+
+* **worker pool** — cold compiles run on a bounded ``ThreadPoolExecutor``
+  so the event loop never blocks on QS/SR; the underlying
+  ``CompileService`` is thread-safe and folds concurrent identical
+  requests onto one compilation regardless of which worker runs it;
+* **backpressure** — more than ``max_concurrency`` admitted compiles ->
+  ``429 overloaded`` (with ``Retry-After``); bodies past ``max_body`` ->
+  ``413 payload_too_large``; requests during drain -> ``503
+  shutting_down``;
+* **per-request timeout** — a compile past ``request_timeout`` answers
+  ``504 timeout``.  The worker thread keeps running (threads cannot be
+  killed), so the error code tells clients the request is *still
+  executing* and must not be retried — a later identical request will
+  join it through the dedup table;
+* **graceful drain** — SIGTERM/SIGINT stops accepting connections,
+  lets in-flight requests finish (up to ``drain_timeout``), then closes
+  remaining keep-alive connections and exits cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.net.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    error_to_wire,
+    request_from_wire,
+    response_to_wire,
+)
+from repro.service.service import CompileService
+
+__all__ = [
+    "DEFAULT_PORT",
+    "CompileServer",
+    "ServerHandle",
+    "start_server_thread",
+    "run_server",
+]
+
+DEFAULT_PORT = 8787
+DEFAULT_MAX_BODY = 32 * 1024 * 1024
+DEFAULT_MAX_CONCURRENCY = 32
+DEFAULT_REQUEST_TIMEOUT = 600.0
+DEFAULT_DRAIN_TIMEOUT = 30.0
+_MAX_HEADER_BYTES = 64 * 1024
+_KEEPALIVE_TIMEOUT = 75.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+# dispatch result: (status, JSON payload, extra headers)
+_Reply = Tuple[int, Dict[str, Any], Dict[str, str]]
+
+
+class CompileServer:
+    """HTTP/1.1 front-end sharing one :class:`CompileService` across processes.
+
+    Args:
+        service: the service to front (default: a fresh memory-only one).
+        host / port: bind address; ``port=0`` picks a free port
+            (:attr:`port` holds the real one after :meth:`start`).
+        max_workers: compile worker threads (default: the service's
+            ``max_workers``, i.e. ``os.cpu_count()`` capped at 8).
+        max_concurrency: admitted compile requests before ``429``.
+        max_body: request body cap in bytes before ``413``.
+        request_timeout: seconds before an admitted compile answers
+            ``504 timeout`` (the compile keeps running server-side).
+        drain_timeout: seconds shutdown waits for in-flight requests.
+    """
+
+    def __init__(
+        self,
+        service: Optional[CompileService] = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_workers: Optional[int] = None,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        max_body: int = DEFAULT_MAX_BODY,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    ):
+        if max_concurrency < 1:
+            raise ServiceError("server needs max_concurrency >= 1")
+        if max_body < 1:
+            raise ServiceError("server needs max_body >= 1")
+        self.service = service if service is not None else CompileService()
+        self.stats = self.service.stats
+        self.host = host
+        self.port = port
+        self.max_workers = max_workers or self.service.max_workers
+        self.max_concurrency = max_concurrency
+        self.max_body = max_body
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._idle_event: Optional[asyncio.Event] = None
+        self._connections: set = set()
+        self._inflight = 0
+        self._active_compiles = 0
+        self._draining = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "CompileServer":
+        """Bind the listening socket (resolving ``port=0``) and the pool."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="caqr-compile"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=_MAX_HEADER_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve(self, install_signal_handlers: bool = True) -> None:
+        """Serve until :meth:`request_shutdown` fires, then drain and stop."""
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-unix event loops
+        await self._stop_event.wait()
+        await self.drain()
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (call from the loop thread / a signal)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def request_shutdown_threadsafe(self) -> None:
+        """Thread-safe :meth:`request_shutdown` (for embedding threads)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.request_shutdown)
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, close everything."""
+        if self._draining:
+            return
+        self._draining = True
+        self.stats.count("drains")
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(self._idle_event.wait(), self.drain_timeout)
+        except asyncio.TimeoutError:
+            self.stats.count("drain_timeouts")
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            try:
+                # 3.12+ wait_closed also waits for connection handlers;
+                # the writers above are closed, so this is quick — but
+                # never let a stuck handler wedge the shutdown
+                await asyncio.wait_for(self._server.wait_closed(), 2.0)
+            except asyncio.TimeoutError:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self.stats.count("http_connections")
+        try:
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), _KEEPALIVE_TIMEOUT
+                    )
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    asyncio.TimeoutError,
+                    ConnectionError,
+                ):
+                    break
+                parsed = self._parse_head(head)
+                if parsed is None:
+                    await self._write(
+                        writer,
+                        400,
+                        error_to_wire("bad_request", "malformed HTTP request"),
+                        {},
+                        keep_alive=False,
+                    )
+                    break
+                method, path, headers = parsed
+                try:
+                    content_length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    content_length = -1
+                if content_length < 0:
+                    await self._write(
+                        writer,
+                        400,
+                        error_to_wire("bad_request", "bad Content-Length"),
+                        {},
+                        keep_alive=False,
+                    )
+                    break
+                if content_length > self.max_body:
+                    self.stats.count("http_rejected")
+                    await self._write(
+                        writer,
+                        413,
+                        error_to_wire(
+                            "payload_too_large",
+                            f"body of {content_length} bytes exceeds the "
+                            f"{self.max_body}-byte limit",
+                        ),
+                        {},
+                        keep_alive=False,
+                    )
+                    break
+                body = b""
+                if content_length:
+                    try:
+                        body = await reader.readexactly(content_length)
+                    except (asyncio.IncompleteReadError, ConnectionError):
+                        break
+                status, payload, extra = await self._dispatch(method, path, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and not self._draining
+                )
+                try:
+                    await self._write(writer, status, payload, extra, keep_alive)
+                except ConnectionError:
+                    break
+                if not keep_alive:
+                    break
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    @staticmethod
+    def _parse_head(blob: bytes) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        try:
+            request_line, *header_lines = blob.decode("latin-1").split("\r\n")
+            method, target, version = request_line.split(" ", 2)
+        except ValueError:
+            return None
+        if not version.startswith("HTTP/1."):
+            return None
+        headers: Dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target.split("?", 1)[0], headers
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: " + ("keep-alive" if keep_alive else "close"),
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> _Reply:
+        self._inflight += 1
+        self._idle_event.clear()
+        self.stats.count("http_requests")
+        self.stats.count(f"http:{path}")
+        try:
+            reply = await self._route(method, path, body)
+        except WireError as exc:
+            self.stats.count("http_errors")
+            reply = 400, error_to_wire("bad_request", str(exc)), {}
+        except Exception as exc:  # never leak a traceback as a hung socket
+            self.stats.count("http_errors")
+            reply = (
+                500,
+                error_to_wire("internal", f"{type(exc).__name__}: {exc}"),
+                {},
+            )
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle_event.set()
+        if reply[0] >= 400:
+            self.stats.count("http_errors")
+        return reply
+
+    async def _route(self, method: str, path: str, body: bytes) -> _Reply:
+        if path == "/v1/health":
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            return (
+                200,
+                {
+                    "schema": WIRE_SCHEMA_VERSION,
+                    "status": "draining" if self._draining else "ok",
+                    "draining": self._draining,
+                },
+                {},
+            )
+        if self._draining:
+            self.stats.count("http_rejected")
+            return (
+                503,
+                error_to_wire("shutting_down", "server is draining"),
+                {},
+            )
+        if path == "/v1/stats":
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            return 200, self._stats_payload(), {}
+        if path == "/v1/compile":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            return await self._handle_compile(body)
+        if path == "/v1/compile_batch":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            return await self._handle_batch(body)
+        if path == "/v1/cache/invalidate":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            return self._handle_invalidate(body)
+        return 404, error_to_wire("not_found", f"no route {method} {path}"), {}
+
+    @staticmethod
+    def _method_not_allowed(method: str, path: str) -> _Reply:
+        return (
+            405,
+            error_to_wire("method_not_allowed", f"{method} not allowed on {path}"),
+            {},
+        )
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        disk = self.service.cache.disk
+        shards = disk.refresh_shard_gauges() if disk is not None else {}
+        return {
+            "schema": WIRE_SCHEMA_VERSION,
+            "stats": self.stats.to_dict(),
+            "shards": shards,
+        }
+
+    @staticmethod
+    def _json_body(body: bytes) -> Any:
+        try:
+            return json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"request body is not JSON: {exc}") from exc
+
+    # -- compile endpoints -----------------------------------------------------
+
+    async def _handle_compile(self, body: bytes) -> _Reply:
+        request = request_from_wire(self._json_body(body))
+        admitted, reply = self._admit()
+        if not admitted:
+            return reply
+        try:
+            outcome, reply = await self._offload(
+                self.service.compile_classified, request
+            )
+            if outcome is None:
+                return reply
+            report, key, status = outcome
+        finally:
+            self._active_compiles -= 1
+        headers = {"X-CaQR-Fingerprint": key, "X-CaQR-Cache": status}
+        return 200, response_to_wire(key, status, report), headers
+
+    async def _handle_batch(self, body: bytes) -> _Reply:
+        payload = self._json_body(body)
+        if not isinstance(payload, dict):
+            raise WireError("batch envelope must be a JSON object")
+        if payload.get("schema") != WIRE_SCHEMA_VERSION:
+            raise WireError(
+                f"unsupported wire schema {payload.get('schema')!r}"
+            )
+        members = payload.get("requests")
+        if not isinstance(members, list):
+            raise WireError("batch envelope needs a requests list")
+        requests = [request_from_wire(member) for member in members]
+        parallel = bool(payload.get("parallel", True))
+        admitted, reply = self._admit()
+        if not admitted:
+            return reply
+        try:
+            outcome, reply = await self._offload(
+                self.service.compile_batch, requests, parallel
+            )
+            if outcome is None:
+                return reply
+        finally:
+            self._active_compiles -= 1
+        results = []
+        for request, report in zip(requests, outcome):
+            status = "hit" if report.from_cache else "miss"
+            results.append(
+                response_to_wire(request.fingerprint(), status, report)
+            )
+        return 200, {"schema": WIRE_SCHEMA_VERSION, "results": results}, {}
+
+    def _admit(self) -> Tuple[bool, Optional[_Reply]]:
+        """Admission control: one slot per compile/batch request."""
+        if self._active_compiles >= self.max_concurrency:
+            self.stats.count("http_rejected")
+            return False, (
+                429,
+                error_to_wire(
+                    "overloaded",
+                    f"{self._active_compiles} compiles already admitted "
+                    f"(max_concurrency={self.max_concurrency})",
+                ),
+                {"Retry-After": "1"},
+            )
+        self._active_compiles += 1
+        return True, None
+
+    async def _offload(self, func, *args) -> Tuple[Optional[Any], Optional[_Reply]]:
+        """Run *func* on the worker pool under the request timeout."""
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._pool, func, *args)
+        try:
+            return await asyncio.wait_for(future, self.request_timeout), None
+        except asyncio.TimeoutError:
+            self.stats.count("http_timeouts")
+            # the worker thread cannot be killed; keep its eventual
+            # outcome retrieved so the loop never logs a stray error
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            return None, (
+                504,
+                error_to_wire(
+                    "timeout",
+                    f"compile exceeded {self.request_timeout:.0f}s and is "
+                    "still executing server-side; do not retry",
+                ),
+                {},
+            )
+        except ReproError as exc:
+            # deterministic compiler rejection (e.g. infeasible budget)
+            return None, (422, error_to_wire("compile_error", str(exc)), {})
+
+    def _handle_invalidate(self, body: bytes) -> _Reply:
+        payload = self._json_body(body)
+        if not isinstance(payload, dict):
+            raise WireError("invalidate envelope must be a JSON object")
+        if payload.get("all"):
+            self.service.clear()
+            self.stats.count("invalidations")
+            return 200, {"schema": WIRE_SCHEMA_VERSION, "cleared": True}, {}
+        fingerprint = payload.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise WireError("invalidate envelope needs a fingerprint (or all)")
+        removed = self.service.invalidate(fingerprint)
+        return (
+            200,
+            {
+                "schema": WIRE_SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+                "invalidated": bool(removed),
+            },
+            {},
+        )
+
+
+class ServerHandle:
+    """A :class:`CompileServer` running on a daemon thread (tests, benches)."""
+
+    def __init__(self, server: CompileServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain the server and join its thread."""
+        self.server.request_shutdown_threadsafe()
+        self.thread.join(timeout)
+
+
+def start_server_thread(ready_timeout: float = 30.0, **kwargs) -> ServerHandle:
+    """Run a :class:`CompileServer` on a background thread; wait until bound.
+
+    Keyword arguments go to the :class:`CompileServer` constructor.  Pass
+    ``port=0`` to grab a free port (the handle's :attr:`~ServerHandle.url`
+    reflects the real one).
+    """
+    kwargs.setdefault("port", 0)
+    ready = threading.Event()
+    box: Dict[str, Any] = {}
+
+    def _run() -> None:
+        async def _main() -> None:
+            server = CompileServer(**kwargs)
+            await server.start()
+            box["server"] = server
+            ready.set()
+            await server.serve(install_signal_handlers=False)
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # surface startup failures to the caller
+            box.setdefault("error", exc)
+            ready.set()
+
+    thread = threading.Thread(target=_run, daemon=True, name="caqr-server")
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise ServiceError("compile server did not start in time")
+    if "error" in box:
+        raise ServiceError(f"compile server failed to start: {box['error']}")
+    return ServerHandle(box["server"], thread)
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    cache_dir: Optional[str] = None,
+    ttl: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+    max_body: int = DEFAULT_MAX_BODY,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Prints ``serving on <host>:<port>`` once bound (machine-parseable —
+    the CI smoke script and process supervisors key on it), then runs
+    until SIGTERM/SIGINT, drains, and returns 0.
+    """
+    service = CompileService(cache_dir=cache_dir, ttl=ttl)
+    server = CompileServer(
+        service=service,
+        host=host,
+        port=port,
+        max_workers=max_workers,
+        max_concurrency=max_concurrency,
+        max_body=max_body,
+        request_timeout=request_timeout,
+        drain_timeout=drain_timeout,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        await server.serve(install_signal_handlers=True)
+        print("server drained and stopped", flush=True)
+
+    asyncio.run(_main())
+    return 0

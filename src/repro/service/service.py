@@ -38,11 +38,12 @@ from repro.hardware.backends import Backend
 from repro.service.cache import (
     DEFAULT_MAX_BYTES,
     DEFAULT_MAX_ENTRIES,
+    DEFAULT_SHARD,
     DiskCache,
     MemoryCache,
     TieredCache,
 )
-from repro.service.fingerprint import request_fingerprint
+from repro.service.fingerprint import backend_digest, request_fingerprint
 from repro.service.serialization import dumps_entry, loads_entry
 from repro.service.stats import ServiceStats
 
@@ -87,6 +88,16 @@ class CompileRequest:
             auto_commuting=self.auto_commuting,
         )
 
+    def shard(self) -> str:
+        """The disk-cache shard this request's entry lives in.
+
+        One shard per backend calibration snapshot (a 16-hex-char prefix
+        of the backend digest); backend-less requests share
+        :data:`~repro.service.cache.DEFAULT_SHARD`.
+        """
+        digest = backend_digest(self.backend)
+        return digest[:16] if digest else DEFAULT_SHARD
+
 
 def _cold_compile(request: CompileRequest, allow_parallel: bool) -> CompileReport:
     return caqr_compile(
@@ -123,6 +134,9 @@ class CompileService:
         max_workers: process-pool cap for batch fan-out (default:
             ``os.cpu_count()`` capped at 8, the repo-wide pool idiom).
         stats: optional shared :class:`ServiceStats` sink.
+        ttl: optional entry lifetime in seconds for *both* tiers —
+            entries older than this count as misses and are dropped
+            (groundwork for calibration-drift invalidation).
     """
 
     def __init__(
@@ -132,10 +146,13 @@ class CompileService:
         memory_bytes: int = DEFAULT_MAX_BYTES,
         max_workers: Optional[int] = None,
         stats: Optional[ServiceStats] = None,
+        ttl: Optional[float] = None,
     ):
         self.stats = stats if stats is not None else ServiceStats()
-        memory = MemoryCache(memory_entries, memory_bytes, stats=self.stats)
-        disk = DiskCache(cache_dir, stats=self.stats) if cache_dir else None
+        memory = MemoryCache(
+            memory_entries, memory_bytes, stats=self.stats, ttl=ttl
+        )
+        disk = DiskCache(cache_dir, stats=self.stats, ttl=ttl) if cache_dir else None
         self.cache = TieredCache(memory, disk)
         self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
         self._lock = Lock()
@@ -172,25 +189,39 @@ class CompileService:
 
     def compile_request(self, request: CompileRequest) -> CompileReport:
         """Serve one :class:`CompileRequest` through the cache."""
+        return self.compile_classified(request)[0]
+
+    def compile_classified(
+        self, request: CompileRequest
+    ) -> Tuple[CompileReport, str, str]:
+        """Serve one request, returning ``(report, fingerprint, status)``.
+
+        *status* is the wire-protocol cache label: ``"hit"`` (warm
+        tier), ``"inflight"`` (joined an identical compilation another
+        request started), or ``"miss"`` (this request paid for the cold
+        compile).  The HTTP server forwards it as the ``X-CaQR-Cache``
+        header.
+        """
         stats = self.stats
         stats.count("requests")
         with stats.timed("fingerprint"):
             key = request.fingerprint()
-        report = self._lookup(key)
+        shard = request.shard()
+        report = self._lookup(key, shard)
         if report is not None:
             stats.count("hits")
-            return report
+            return report, key, "hit"
         primary, future = self._claim(key)
         if not primary:
             # identical request already compiling: join it
             stats.count("dedup_folds")
             with stats.timed("deserialize"):
-                return loads_entry(future.result(), key)
+                return loads_entry(future.result(), key), key, "inflight"
         stats.count("misses")
         try:
             with stats.timed("compile"):
                 report = _cold_compile(request, allow_parallel=True)
-            text = self._store(key, report)
+            text = self._store(key, report, shard)
             future.set_result(text)
         except BaseException as exc:
             future.set_exception(exc)
@@ -198,7 +229,7 @@ class CompileService:
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
-        return report
+        return report, key, "miss"
 
     # -- batch path ------------------------------------------------------------
 
@@ -232,6 +263,7 @@ class CompileService:
             unique.setdefault(key, request)
         stats.count("batch_unique", len(unique))
         stats.count("dedup_folds", len(requests) - len(unique))
+        shards = {key: request.shard() for key, request in unique.items()}
 
         texts: Dict[str, str] = {}
         fresh: set = set()
@@ -239,7 +271,7 @@ class CompileService:
         owned: Dict[str, "Future[str]"] = {}
         cold: List[Tuple[str, CompileRequest]] = []
         for key, request in unique.items():
-            text = self._lookup_text(key)
+            text = self._lookup_text(key, shards[key])
             if text is not None:
                 stats.count("hits")
                 texts[key] = text
@@ -270,7 +302,7 @@ class CompileService:
                         texts[key] = dumps_entry(key, report)
                 for key, _ in cold:
                     with stats.timed("store"):
-                        self.cache.put(key, texts[key])
+                        self.cache.put(key, texts[key], shards[key])
                     fresh.add(key)
                     owned[key].set_result(texts[key])
         except BaseException as exc:
@@ -300,9 +332,11 @@ class CompileService:
 
     # -- cache plumbing --------------------------------------------------------
 
-    def _lookup_entry(self, key: str) -> Optional[Tuple[str, CompileReport]]:
+    def _lookup_entry(
+        self, key: str, shard: Optional[str] = None
+    ) -> Optional[Tuple[str, CompileReport]]:
         with self.stats.timed("lookup"):
-            text = self.cache.get(key)
+            text = self.cache.get(key, shard)
         if text is None:
             return None
         try:
@@ -312,16 +346,18 @@ class CompileService:
                 report = loads_entry(text, key)
         except ServiceError:
             # the tier counts corrupt_entries as it drops the bad file
-            self.cache.invalidate(key)
+            self.cache.drop_corrupt(key, shard)
             return None
         return text, report
 
-    def _lookup_text(self, key: str) -> Optional[str]:
-        entry = self._lookup_entry(key)
+    def _lookup_text(self, key: str, shard: Optional[str] = None) -> Optional[str]:
+        entry = self._lookup_entry(key, shard)
         return entry[0] if entry is not None else None
 
-    def _lookup(self, key: str) -> Optional[CompileReport]:
-        entry = self._lookup_entry(key)
+    def _lookup(
+        self, key: str, shard: Optional[str] = None
+    ) -> Optional[CompileReport]:
+        entry = self._lookup_entry(key, shard)
         return entry[1] if entry is not None else None
 
     def _claim(self, key: str) -> Tuple[bool, "Future[str]"]:
@@ -334,13 +370,25 @@ class CompileService:
             self._inflight[key] = future
             return True, future
 
-    def _store(self, key: str, report: CompileReport) -> str:
+    def _store(
+        self, key: str, report: CompileReport, shard: Optional[str] = None
+    ) -> str:
         with self.stats.timed("serialize"):
             text = dumps_entry(key, report)
         with self.stats.timed("store"):
-            self.cache.put(key, text)
+            self.cache.put(key, text, shard)
         self.stats.count("stores")
         return text
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Explicitly drop one fingerprint from both tiers (all shards).
+
+        This is the calibration-drift hook: a stale entry can be retired
+        by key without clearing the store.  Wired to ``POST
+        /v1/cache/invalidate`` and ``repro cache clear --key``.
+        """
+        self.stats.count("invalidations")
+        return self.cache.invalidate(fingerprint)
 
     def clear(self) -> None:
         """Drop every cached entry (both tiers)."""
@@ -372,14 +420,17 @@ def reset_default_service() -> None:
     _default_service = None
 
 
-def resolve_cache(
-    spec: Union[None, bool, str, CompileService]
-) -> Optional[CompileService]:
+def resolve_cache(spec: Union[None, bool, str, CompileService]):
     """Map ``caqr_compile``'s ``cache=`` argument onto a service.
 
     ``None``/``False`` — no caching; ``True`` — the process-wide default
-    service; a string — a service persisting under that directory; a
-    :class:`CompileService` — itself.
+    service; an ``http://`` URL string — a
+    :class:`~repro.service.net.client.RemoteCompileService` talking to a
+    ``repro serve`` instance (so local and remote services are drop-in
+    interchangeable); any other string — a service persisting under that
+    directory; a :class:`CompileService` (or anything exposing the same
+    ``compile``/``compile_batch`` surface, e.g. an already-constructed
+    remote client) — itself.
     """
     if spec is None or spec is False:
         return None
@@ -388,5 +439,13 @@ def resolve_cache(
     if isinstance(spec, CompileService):
         return spec
     if isinstance(spec, str):
+        if spec.startswith(("http://", "https://")):
+            from repro.service.net.client import RemoteCompileService
+
+            return RemoteCompileService(spec)
         return CompileService(cache_dir=spec)
+    if callable(getattr(spec, "compile", None)) and callable(
+        getattr(spec, "compile_batch", None)
+    ):
+        return spec
     raise ServiceError(f"unknown cache spec {spec!r}")

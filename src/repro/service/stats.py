@@ -16,6 +16,12 @@ Counter names the service uses:
 * ``evictions`` — memory-tier entries dropped by the LRU byte/entry caps;
 * ``corrupt_entries`` — on-disk entries that failed to load (bad JSON,
   schema-version mismatch, truncated write) and were treated as misses;
+* ``expired_entries`` — entries past the cache TTL, dropped on lookup;
+* ``migrated_entries`` — legacy flat disk entries moved into their
+  backend shard on first lookup;
+* ``invalidated_entries`` / ``invalidations`` — entries removed by an
+  explicit ``invalidate(fingerprint)`` call (CLI ``cache clear --key``
+  or ``POST /v1/cache/invalidate``) and the number of such calls;
 * ``dedup_folds`` — requests folded onto an identical one instead of
   compiling: duplicate members of one ``compile_batch`` call plus
   concurrent ``compile`` calls that joined an in-flight compilation;
@@ -26,7 +32,13 @@ Counter names the service uses:
 
 Gauges (floats, ``values``): ``memory_bytes`` / ``memory_entries`` —
 current memory-tier footprint; ``disk_bytes_written`` — cumulative bytes
-persisted to the disk tier.
+persisted to the disk tier; ``shard_entries:<id>`` / ``shard_bytes:<id>``
+— per-shard disk usage, refreshed by ``DiskCache.refresh_shard_gauges``
+(the ``/v1/stats`` endpoint and ``repro cache stats`` trigger a refresh).
+
+The HTTP front-end (:mod:`repro.service.net.server`) adds
+``http_requests`` / ``http_errors`` / ``http_rejected`` /
+``http_timeouts`` counters and per-endpoint ``http:<path>`` counters.
 
 Time buckets (seconds): ``fingerprint`` (cache-key derivation), ``lookup``
 (tier probes), ``compile`` (cold ``caqr_compile`` runs), ``serialize`` /
@@ -89,6 +101,16 @@ class ServiceStats:
         folds = self.counters.get("dedup_folds", 0)
         total = self.counters.get("requests", 0)
         return folds / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot (the ``/v1/stats`` endpoint payload)."""
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "values": dict(self.values),
+            "hit_rate": self.hit_rate,
+            "dedup_rate": self.dedup_rate,
+        }
 
     def merge(self, other: "ServiceStats") -> None:
         """Fold *other*'s counters, gauges, and timers into this instance."""

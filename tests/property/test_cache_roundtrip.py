@@ -133,3 +133,107 @@ def test_min_swap_roundtrip():
 def test_random_circuit_roundtrip_extended(seed):
     """Nightly-only extension of the sample pool past the fast split."""
     _assert_warm_equals_cold(_sample_circuit(seed), f"seed={seed}")
+
+
+# -- the networked service must be indistinguishable from the local one -------
+
+
+def _assert_reports_match(remote, cold, context):
+    assert remote.circuit.num_qubits == cold.circuit.num_qubits, context
+    assert remote.circuit.num_clbits == cold.circuit.num_clbits, context
+    assert remote.circuit.data == cold.circuit.data, (
+        f"{context}: instruction stream drifted over the wire"
+    )
+    for name in FIELDS:
+        assert getattr(remote, name) == getattr(cold, name), (
+            f"{context}: field {name!r} drifted over the wire"
+        )
+    if cold.route_stats is None:
+        assert remote.route_stats is None, context
+    else:
+        assert remote.route_stats.counters == cold.route_stats.counters, context
+        assert remote.route_stats.values == cold.route_stats.values, context
+
+
+@pytest.mark.parametrize("seed", range(0, CACHE_SAMPLES, 5))
+def test_remote_equals_local(seed):
+    """Every report field survives the wire protocol bit-for-bit."""
+    from repro.service import RemoteCompileService, start_server_thread
+
+    circuit = _sample_circuit(seed)
+    mode = "max_reuse" if seed % 2 else "min_depth"
+    handle = start_server_thread(service=CompileService())
+    try:
+        with RemoteCompileService(handle.url, timeout=120) as client:
+            remote = client.compile(circuit, mode=mode)
+            warm = client.compile(circuit, mode=mode)
+        cold = caqr_compile(circuit, mode=mode)
+        assert remote.from_cache is False, f"seed={seed}"
+        assert warm.from_cache is True, f"seed={seed}"
+        _assert_reports_match(remote, cold, f"seed={seed} mode={mode} (miss)")
+        _assert_reports_match(warm, cold, f"seed={seed} mode={mode} (hit)")
+    finally:
+        handle.stop()
+
+
+def test_remote_equals_local_with_backend():
+    """Hardware-mapped reports (router stats attached) cross the wire too."""
+    from repro.service import RemoteCompileService, start_server_thread
+
+    circuit = bv_circuit(6)
+    backend = ibm_mumbai()
+    handle = start_server_thread(service=CompileService())
+    try:
+        with RemoteCompileService(handle.url, timeout=120) as client:
+            remote = client.compile(circuit, backend=backend, mode="min_swap")
+        cold = caqr_compile(circuit, backend=backend, mode="min_swap")
+        _assert_reports_match(remote, cold, "bv6 min_swap over the wire")
+    finally:
+        handle.stop()
+
+
+def test_two_clients_one_cold_compile():
+    """Two clients hammering one server pay for exactly one compile per
+    fingerprint — the cross-process dedup contract, asserted via /v1/stats."""
+    import threading
+
+    from repro.service import RemoteCompileService, start_server_thread
+    from repro.service.service import CompileRequest
+
+    handle = start_server_thread(service=CompileService())
+    requests = [CompileRequest(target=_sample_circuit(seed)) for seed in range(3)]
+    try:
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def hammer(name):
+            client = RemoteCompileService(handle.url, timeout=120)
+            barrier.wait(30)
+            results[name] = [
+                client.compile_classified(request) for request in requests
+            ]
+            client.close()
+
+        threads = [
+            threading.Thread(target=hammer, args=(name,)) for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        observer = RemoteCompileService(handle.url, timeout=30)
+        counters = observer.stats()["stats"]["counters"]
+        observer.close()
+        assert counters["misses"] == len(requests), (
+            "each fingerprint must be compiled exactly once across clients"
+        )
+        assert counters["requests"] >= 2 * len(requests)
+        # both clients saw identical reports, whoever paid for them
+        for (report_a, fp_a, _), (report_b, fp_b, _) in zip(
+            results["a"], results["b"]
+        ):
+            assert fp_a == fp_b
+            assert report_a.circuit.data == report_b.circuit.data
+            assert report_a.metrics == report_b.metrics
+    finally:
+        handle.stop()

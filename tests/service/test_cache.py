@@ -1,11 +1,18 @@
-"""Cache tiers: LRU caps, disk persistence, corruption recovery."""
+"""Cache tiers: LRU caps, disk persistence, corruption recovery,
+backend-digest sharding, TTL expiry, and explicit invalidation."""
 
 import os
 
 import pytest
 
 from repro.exceptions import ServiceError
-from repro.service import DiskCache, MemoryCache, ServiceStats, TieredCache
+from repro.service import (
+    DEFAULT_SHARD,
+    DiskCache,
+    MemoryCache,
+    ServiceStats,
+    TieredCache,
+)
 
 
 class TestMemoryCache:
@@ -61,6 +68,33 @@ class TestMemoryCache:
         assert cache.get("k") is None
         assert cache.total_bytes == 0
 
+    def test_invalidate(self):
+        cache = MemoryCache()
+        cache.put("k", "v")
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        assert cache.get("k") is None
+        assert cache.total_bytes == 0
+
+    def test_ttl_expires_entries(self, monkeypatch):
+        import time as time_module
+
+        now = [1000.0]
+        monkeypatch.setattr(time_module, "monotonic", lambda: now[0])
+        cache = MemoryCache(ttl=10.0)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        now[0] += 11.0
+        assert cache.get("k") is None
+        assert cache.stats.counters["expired_entries"] == 1
+        assert len(cache) == 0
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ServiceError):
+            MemoryCache(ttl=0)
+        with pytest.raises(ServiceError):
+            DiskCache("/tmp/whatever-unused", ttl=-1)
+
 
 class TestDiskCache:
     def test_roundtrip_across_instances(self, tmp_path):
@@ -101,6 +135,91 @@ class TestDiskCache:
         store = DiskCache(str(nested))
         store.put("k", "v")
         assert store.get("k") == "v"
+
+
+class TestDiskShards:
+    def test_default_shard_layout(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("abc", "v")
+        assert (tmp_path / DEFAULT_SHARD / "abc.json").is_file()
+        assert store.shards() == [DEFAULT_SHARD]
+
+    def test_shards_are_isolated_directories(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("k", "for-device-a", shard="aaaa1111")
+        store.put("k", "for-device-b", shard="bbbb2222")
+        assert store.get("k", shard="aaaa1111") == "for-device-a"
+        assert store.get("k", shard="bbbb2222") == "for-device-b"
+        assert store.shards() == ["aaaa1111", "bbbb2222"]
+        # one fingerprint, two snapshots: keys() deduplicates
+        assert list(store.keys()) == ["k"]
+        assert len(store) == 1
+
+    def test_legacy_flat_entry_migrates_on_lookup(self, tmp_path):
+        (tmp_path / "old.json").write_text("legacy-payload")
+        store = DiskCache(str(tmp_path))
+        assert store.get("old", shard="aaaa1111") == "legacy-payload"
+        assert store.stats.counters["migrated_entries"] == 1
+        assert not (tmp_path / "old.json").exists()
+        assert (tmp_path / "aaaa1111" / "old.json").is_file()
+        # second lookup hits the shard directly, no second migration
+        assert store.get("old", shard="aaaa1111") == "legacy-payload"
+        assert store.stats.counters["migrated_entries"] == 1
+
+    def test_invalidate_without_shard_sweeps_everywhere(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("k", "a", shard="aaaa1111")
+        store.put("k", "b", shard="bbbb2222")
+        (tmp_path / "k.json").write_text("legacy")
+        assert store.invalidate("k") == 3
+        assert store.stats.counters["invalidated_entries"] == 3
+        assert store.get("k", shard="aaaa1111") is None
+        assert store.invalidate("k") == 0
+
+    def test_invalidate_with_shard_spares_others(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("k", "a", shard="aaaa1111")
+        store.put("k", "b", shard="bbbb2222")
+        assert store.invalidate("k", shard="aaaa1111") == 1
+        assert store.get("k", shard="bbbb2222") == "b"
+
+    def test_shard_stats_and_gauges(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("k1", "xxxx", shard="aaaa1111")
+        store.put("k2", "yy", shard="aaaa1111")
+        store.put("k3", "zzz", shard="bbbb2222")
+        (tmp_path / "flat.json").write_text("w")
+        usage = store.shard_stats()
+        assert usage["aaaa1111"] == {"entries": 2, "bytes": 6}
+        assert usage["bbbb2222"] == {"entries": 1, "bytes": 3}
+        assert usage["legacy"] == {"entries": 1, "bytes": 1}
+        store.refresh_shard_gauges()
+        assert store.stats.values["shard_entries:aaaa1111"] == 2
+        assert store.stats.values["shard_bytes:bbbb2222"] == 3
+        # a cleared shard's gauges disappear on the next refresh
+        store.clear()
+        store.put("k9", "v", shard="cccc3333")
+        store.refresh_shard_gauges()
+        assert "shard_entries:aaaa1111" not in store.stats.values
+        assert store.stats.values["shard_entries:cccc3333"] == 1
+
+    def test_total_bytes_spans_shards(self, tmp_path):
+        store = DiskCache(str(tmp_path))
+        store.put("k1", "xxxx", shard="aaaa1111")
+        store.put("k2", "yy")
+        assert store.total_bytes == 6
+        assert store.clear() == 2
+        assert store.total_bytes == 0
+
+    def test_disk_ttl_expires_entries(self, tmp_path):
+        store = DiskCache(str(tmp_path), ttl=60.0)
+        store.put("k", "v")
+        path = tmp_path / DEFAULT_SHARD / "k.json"
+        old = path.stat().st_mtime - 120
+        os.utime(path, (old, old))
+        assert store.get("k") is None
+        assert store.stats.counters["expired_entries"] == 1
+        assert not path.exists()
 
 
 class TestTieredCache:

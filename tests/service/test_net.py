@@ -1,0 +1,401 @@
+"""Networked compile service: wire protocol, server, client, failure modes.
+
+Everything runs in-process — the server on a background thread
+(``start_server_thread``, port 0), clients on the test thread — so the
+suite exercises real sockets without fixed ports or subprocesses.  The
+cross-*process* acceptance path (many client processes, SIGTERM drain)
+lives in ``scripts/server_smoke.py`` and the CI smoke job.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+import repro.service.service as service_module
+from repro.exceptions import RemoteServiceError
+from repro.hardware import ibm_mumbai
+from repro.service import (
+    CompileServer,
+    CompileService,
+    RemoteCompileService,
+    WireError,
+    start_server_thread,
+)
+from repro.service.net.wire import (
+    WIRE_SCHEMA_VERSION,
+    error_from_wire,
+    error_to_wire,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+)
+from repro.service.service import CompileRequest, resolve_cache
+from repro.workloads import bv_circuit, random_graph
+
+
+class TestWire:
+    def test_circuit_request_roundtrip(self):
+        request = CompileRequest(
+            target=bv_circuit(5), mode="max_reuse", qubit_limit=3, seed=7
+        )
+        decoded = request_from_wire(request_to_wire(request))
+        assert decoded.fingerprint() == request.fingerprint()
+        assert decoded.mode == "max_reuse"
+        assert decoded.qubit_limit == 3
+        assert decoded.seed == 7
+
+    def test_graph_request_roundtrip(self):
+        request = CompileRequest(target=random_graph(8, 0.4, seed=3))
+        decoded = request_from_wire(request_to_wire(request))
+        assert decoded.fingerprint() == request.fingerprint()
+
+    def test_backend_request_roundtrip(self):
+        request = CompileRequest(
+            target=bv_circuit(5), backend=ibm_mumbai(), mode="min_swap"
+        )
+        decoded = request_from_wire(request_to_wire(request))
+        assert decoded.fingerprint() == request.fingerprint()
+        assert decoded.shard() == request.shard()
+
+    def test_schema_mismatch_rejected(self):
+        payload = request_to_wire(CompileRequest(target=bv_circuit(5)))
+        payload["schema"] = 999
+        with pytest.raises(WireError):
+            request_from_wire(payload)
+
+    def test_malformed_request_rejected(self):
+        with pytest.raises(WireError):
+            request_from_wire("not a dict")
+        with pytest.raises(WireError):
+            request_from_wire({"schema": WIRE_SCHEMA_VERSION, "target_kind": "x"})
+
+    def test_response_roundtrip_sets_from_cache(self):
+        report = CompileService().compile(bv_circuit(5))
+        for status, expected in (("miss", False), ("hit", True), ("inflight", True)):
+            payload = response_to_wire("f" * 64, status, report)
+            decoded, fingerprint, decoded_status = response_from_wire(
+                json.loads(json.dumps(payload))
+            )
+            assert fingerprint == "f" * 64
+            assert decoded_status == status
+            assert decoded.from_cache is expected
+            assert decoded.metrics == report.metrics
+
+    def test_bad_cache_status_rejected(self):
+        report = CompileService().compile(bv_circuit(5))
+        with pytest.raises(WireError):
+            response_to_wire("f" * 64, "warmish", report)
+
+    def test_error_envelope_roundtrip(self):
+        code, message = error_from_wire(error_to_wire("overloaded", "busy"))
+        assert (code, message) == ("overloaded", "busy")
+        with pytest.raises(WireError):
+            error_to_wire("made_up_code", "nope")
+
+    def test_error_from_junk_defaults_to_internal(self):
+        for junk in (None, "a proxy error page", {"error": {"code": "bogus"}}):
+            code, _ = error_from_wire(junk)
+            assert code == "internal"
+
+
+@pytest.fixture
+def server():
+    handle = start_server_thread(service=CompileService())
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with RemoteCompileService(server.url, timeout=120, backoff=0.01) as remote:
+        yield remote
+
+
+class TestServerRoundtrip:
+    def test_health(self, client):
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["draining"] is False
+
+    def test_miss_then_hit_statuses(self, client):
+        request = CompileRequest(target=bv_circuit(6))
+        report, fingerprint, status = client.compile_classified(request)
+        assert status == "miss"
+        assert report.from_cache is False
+        assert fingerprint == request.fingerprint()
+        again, fingerprint2, status2 = client.compile_classified(request)
+        assert status2 == "hit"
+        assert again.from_cache is True
+        assert fingerprint2 == fingerprint
+        assert again.metrics == report.metrics
+
+    def test_cache_headers_on_the_wire(self, server):
+        body = json.dumps(
+            request_to_wire(CompileRequest(target=bv_circuit(5)))
+        ).encode()
+        conn = http.client.HTTPConnection(server.server.host, server.server.port)
+        try:
+            statuses = []
+            for _ in range(2):
+                conn.request("POST", "/v1/compile", body=body)
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 200
+                assert response.getheader("X-CaQR-Fingerprint")
+                statuses.append(response.getheader("X-CaQR-Cache"))
+            assert statuses == ["miss", "hit"]
+        finally:
+            conn.close()
+
+    def test_batch_roundtrip_folds_duplicates(self, client, server):
+        requests = [
+            CompileRequest(target=bv_circuit(5)),
+            CompileRequest(target=bv_circuit(6)),
+            CompileRequest(target=bv_circuit(5)),
+        ]
+        reports = client.compile_batch(requests)
+        assert len(reports) == 3
+        assert reports[0].metrics == reports[2].metrics
+        assert server.server.service.stats.counters["misses"] == 2
+        assert server.server.service.stats.counters["dedup_folds"] == 1
+
+    def test_remote_equals_local(self, client):
+        circuit = bv_circuit(7)
+        remote = client.compile(circuit, mode="max_reuse")
+        local = CompileService().compile(circuit, mode="max_reuse")
+        assert remote.circuit.data == local.circuit.data
+        assert remote.metrics == local.metrics
+        assert remote.baseline_metrics == local.baseline_metrics
+        assert remote.reuse_beneficial == local.reuse_beneficial
+        assert remote.qubit_saving == local.qubit_saving
+
+    def test_stats_endpoint(self, client):
+        client.compile(bv_circuit(5))
+        payload = client.stats()
+        assert payload["stats"]["counters"]["requests"] >= 1
+        assert payload["stats"]["counters"]["http_requests"] >= 1
+        assert "hit_rate" in payload["stats"]
+
+    def test_invalidate_endpoint(self, client):
+        request = CompileRequest(target=bv_circuit(5))
+        _, fingerprint, _ = client.compile_classified(request)
+        assert client.invalidate(fingerprint) is True
+        assert client.invalidate(fingerprint) is False
+        _, _, status = client.compile_classified(request)
+        assert status == "miss"
+
+    def test_clear_endpoint(self, client):
+        request = CompileRequest(target=bv_circuit(5))
+        client.compile_classified(request)
+        client.clear()
+        _, _, status = client.compile_classified(request)
+        assert status == "miss"
+
+    def test_resolve_cache_url(self, server):
+        spec = resolve_cache(server.url)
+        assert isinstance(spec, RemoteCompileService)
+        assert spec.url == server.url
+        assert resolve_cache(spec) is spec
+
+
+class TestServerErrors:
+    def _raw(self, server, method, path, body=b"", headers=None):
+        conn = http.client.HTTPConnection(server.server.host, server.server.port)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = json.loads(response.read() or b"null")
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def test_unknown_route(self, server):
+        status, payload = self._raw(server, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_method_not_allowed(self, server):
+        status, payload = self._raw(server, "POST", "/v1/health")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+        status, payload = self._raw(server, "GET", "/v1/compile")
+        assert status == 405
+
+    def test_bad_json_body(self, server):
+        status, payload = self._raw(server, "POST", "/v1/compile", b"not json")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_schema_mismatch_is_bad_request(self, server):
+        body = json.dumps({"schema": 999}).encode()
+        status, payload = self._raw(server, "POST", "/v1/compile", body)
+        assert status == 400
+
+    def test_payload_too_large(self):
+        handle = start_server_thread(
+            service=CompileService(), max_body=128
+        )
+        try:
+            status, payload = self._raw(handle, "POST", "/v1/compile", b"x" * 1024)
+            assert status == 413
+            assert payload["error"]["code"] == "payload_too_large"
+        finally:
+            handle.stop()
+
+    def test_infeasible_budget_is_compile_error(self, client):
+        request = CompileRequest(
+            target=bv_circuit(5), mode="qubit_budget", qubit_limit=1
+        )
+        with pytest.raises(RemoteServiceError) as excinfo:
+            client.compile_request(request)
+        assert excinfo.value.code == "compile_error"
+        assert excinfo.value.status == 422
+
+
+def _slow_cold_compile(monkeypatch, started, release):
+    """Patch the cold-compile hook so compiles block until *release* is set."""
+    original = service_module._cold_compile
+
+    def slow(request, allow_parallel):
+        started.set()
+        assert release.wait(30), "test forgot to release the compile"
+        return original(request, allow_parallel)
+
+    monkeypatch.setattr(service_module, "_cold_compile", slow)
+
+
+class TestConcurrency:
+    def test_inflight_dedup_across_clients(self, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        _slow_cold_compile(monkeypatch, started, release)
+        handle = start_server_thread(service=CompileService())
+        try:
+            request = CompileRequest(target=bv_circuit(6))
+            outcomes = []
+
+            def hammer():
+                remote = RemoteCompileService(handle.url, timeout=60)
+                outcomes.append(remote.compile_classified(request))
+                remote.close()
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            assert started.wait(30)
+            time.sleep(0.1)  # let the stragglers join the in-flight future
+            release.set()
+            for thread in threads:
+                thread.join(60)
+            statuses = sorted(status for _, _, status in outcomes)
+            stats = handle.server.service.stats
+            assert stats.counters["misses"] == 1
+            assert statuses.count("miss") == 1
+            assert set(statuses) <= {"miss", "inflight", "hit"}
+            fingerprints = {fp for _, fp, _ in outcomes}
+            assert fingerprints == {request.fingerprint()}
+            metrics = {str(report.metrics) for report, _, _ in outcomes}
+            assert len(metrics) == 1
+        finally:
+            release.set()
+            handle.stop()
+
+    def test_timeout_answers_504_and_is_not_retried(self, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        _slow_cold_compile(monkeypatch, started, release)
+        handle = start_server_thread(
+            service=CompileService(), request_timeout=0.2
+        )
+        try:
+            remote = RemoteCompileService(
+                handle.url, timeout=30, retries=3, backoff=0.01
+            )
+            with pytest.raises(RemoteServiceError) as excinfo:
+                remote.compile_request(CompileRequest(target=bv_circuit(6)))
+            assert excinfo.value.code == "timeout"
+            assert excinfo.value.status == 504
+            release.set()
+            # only ONE compile ever started: timeout responses are final
+            assert handle.server.service.stats.counters["misses"] == 1
+        finally:
+            release.set()
+            handle.stop()
+
+    def test_backpressure_answers_429(self, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        _slow_cold_compile(monkeypatch, started, release)
+        handle = start_server_thread(
+            service=CompileService(), max_concurrency=1
+        )
+        try:
+            blocker = threading.Thread(
+                target=lambda: RemoteCompileService(
+                    handle.url, timeout=60
+                ).compile_request(CompileRequest(target=bv_circuit(6)))
+            )
+            blocker.start()
+            assert started.wait(30)
+            rejected = RemoteCompileService(
+                handle.url, timeout=30, retries=0
+            )
+            with pytest.raises(RemoteServiceError) as excinfo:
+                rejected.compile_request(CompileRequest(target=bv_circuit(7)))
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.status == 429
+            release.set()
+            blocker.join(60)
+        finally:
+            release.set()
+            handle.stop()
+
+    def test_drain_finishes_inflight_then_rejects(self, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        _slow_cold_compile(monkeypatch, started, release)
+        handle = start_server_thread(service=CompileService())
+        outcome = {}
+
+        def inflight():
+            remote = RemoteCompileService(handle.url, timeout=60)
+            outcome["report"] = remote.compile_request(
+                CompileRequest(target=bv_circuit(6))
+            )
+
+        worker = threading.Thread(target=inflight)
+        worker.start()
+        assert started.wait(30)
+        handle.server.request_shutdown_threadsafe()
+        time.sleep(0.2)  # let the drain flip the flag
+        release.set()
+        worker.join(60)
+        handle.thread.join(30)
+        assert not handle.thread.is_alive(), "server failed to drain"
+        # the in-flight request completed despite the shutdown
+        assert outcome["report"].metrics is not None
+        # the socket is gone afterwards
+        late = RemoteCompileService(handle.url, timeout=5, retries=0)
+        with pytest.raises(RemoteServiceError) as excinfo:
+            late.health()
+        assert excinfo.value.code == "connect_error"
+
+
+class TestClientRetry:
+    def test_connect_error_after_retries(self):
+        remote = RemoteCompileService(
+            "http://127.0.0.1:9", timeout=0.5, retries=2, backoff=0.01
+        )
+        start = time.monotonic()
+        with pytest.raises(RemoteServiceError) as excinfo:
+            remote.health()
+        assert excinfo.value.code == "connect_error"
+        assert excinfo.value.status == 0
+        # two backoff sleeps happened (jittered 0.01 * 2**n scale)
+        assert time.monotonic() - start < 10
+
+    def test_bad_url_rejected(self):
+        with pytest.raises(RemoteServiceError):
+            RemoteCompileService("ftp://example.com")
+        with pytest.raises(RemoteServiceError):
+            RemoteCompileService("http://")

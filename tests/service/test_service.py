@@ -109,7 +109,7 @@ class TestDiskPersistence:
     def test_corrupt_entry_recompiles(self, tmp_path):
         service = CompileService(cache_dir=str(tmp_path))
         service.compile(bv_circuit(5))
-        [entry] = list(tmp_path.glob("*.json"))
+        [entry] = list(tmp_path.rglob("*.json"))
         entry.write_text("{ not json at all")
         fresh = CompileService(cache_dir=str(tmp_path))
         report = fresh.compile(bv_circuit(5))
@@ -122,7 +122,7 @@ class TestDiskPersistence:
     def test_partial_write_recovers(self, tmp_path):
         service = CompileService(cache_dir=str(tmp_path))
         service.compile(bv_circuit(5))
-        [entry] = list(tmp_path.glob("*.json"))
+        [entry] = list(tmp_path.rglob("*.json"))
         text = entry.read_text()
         entry.write_text(text[: len(text) // 2])  # simulate a torn write
         fresh = CompileService(cache_dir=str(tmp_path))
@@ -133,7 +133,7 @@ class TestDiskPersistence:
     def test_schema_version_mismatch_is_a_miss(self, tmp_path):
         service = CompileService(cache_dir=str(tmp_path))
         service.compile(bv_circuit(5))
-        [entry] = list(tmp_path.glob("*.json"))
+        [entry] = list(tmp_path.rglob("*.json"))
         entry.write_text(entry.read_text().replace('"schema": 1', '"schema": 999'))
         fresh = CompileService(cache_dir=str(tmp_path))
         assert fresh.compile(bv_circuit(5)).from_cache is False
@@ -143,7 +143,7 @@ class TestDiskPersistence:
         service = CompileService(cache_dir=str(tmp_path))
         service.compile(bv_circuit(5))
         service.clear()
-        assert list(tmp_path.glob("*.json")) == []
+        assert list(tmp_path.rglob("*.json")) == []
         assert service.compile(bv_circuit(5)).from_cache is False
 
 
@@ -252,7 +252,7 @@ class TestApiIntegration:
 
     def test_cache_directory_string(self, tmp_path):
         caqr_compile(bv_circuit(5), cache=str(tmp_path))
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.rglob("*.json"))
         warm = caqr_compile(bv_circuit(5), cache=str(tmp_path))
         assert warm.from_cache is True
 
@@ -261,7 +261,7 @@ class TestApiIntegration:
         reset_default_service()
         try:
             caqr_compile(bv_circuit(5), cache=True)
-            assert list(tmp_path.glob("*.json"))
+            assert list(tmp_path.rglob("*.json"))
             assert default_service() is default_service()
         finally:
             reset_default_service()

@@ -72,3 +72,76 @@ class TestOtherCommands:
         assert main([
             "compile", "xor_5", "--mode", "min_swap", "--backend", str(path)
         ]) == 0
+
+
+class TestServiceCommands:
+    """CLI paths that talk to the compile service (local dir or server)."""
+
+    @pytest.fixture
+    def server(self):
+        from repro.service import CompileService, start_server_thread
+
+        handle = start_server_thread(service=CompileService())
+        yield handle
+        handle.stop()
+
+    def test_compile_through_server(self, server, capsys):
+        assert main(["compile", "bv_5", "--server", server.url]) == 0
+        assert "served from cache  False" in capsys.readouterr().out
+        assert main(["compile", "bv_5", "--server", server.url]) == 0
+        assert "served from cache  True" in capsys.readouterr().out
+
+    def test_cache_stats_against_server(self, server, capsys):
+        main(["compile", "bv_5", "--server", server.url])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--server", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "compile service" in out
+        assert "http_requests" in out
+
+    def test_cache_clear_key_against_server(self, server, capsys):
+        from repro.service.service import CompileRequest
+
+        main(["compile", "bv_5", "--server", server.url])
+        fingerprint = CompileRequest(target=bv_circuit(5)).fingerprint()
+        capsys.readouterr()
+        assert main([
+            "cache", "clear", "--key", fingerprint, "--server", server.url
+        ]) == 0
+        assert f"invalidated {fingerprint}" in capsys.readouterr().out
+        assert main([
+            "cache", "clear", "--key", fingerprint, "--server", server.url
+        ]) == 0
+        assert "no entry" in capsys.readouterr().out
+
+    def test_cache_clear_key_on_disk(self, tmp_path, capsys):
+        from repro.service.service import CompileRequest
+
+        assert main(["compile", "bv_5", "--cache-dir", str(tmp_path)]) == 0
+        fingerprint = CompileRequest(target=bv_circuit(5)).fingerprint()
+        capsys.readouterr()
+        assert main([
+            "cache", "clear", "--key", fingerprint, "--dir", str(tmp_path)
+        ]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert list(tmp_path.rglob("*.json")) == []
+
+    def test_cache_stats_lists_shards(self, tmp_path, capsys):
+        assert main(["compile", "bv_5", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard nobackend" in out
+
+    def test_serve_parses_and_connection_refused_is_an_error(self, capsys):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-concurrency", "4"]
+        )
+        assert args.port == 0 and args.max_concurrency == 4
+        # a dead server is a clean CLI error, not a traceback
+        assert main([
+            "compile", "bv_5", "--server", "http://127.0.0.1:9"
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
