@@ -1,0 +1,84 @@
+"""Portfolio racing vs. the single-strategy path on benchmark workloads.
+
+The claim (ISSUE 6 / docs/PORTFOLIO.md): racing every applicable engine
+and keeping the best result under a declared objective is never worse
+than the shipped single-strategy ``caqr_compile`` on that objective —
+the greedy path is itself a lane in the race.  Measured on bv16 and the
+QAOA-16 graph for both the ``qubits`` and ``depth`` objectives (the
+exact tier sits out at 16 qubits — its width gate is 10 — so any wins
+here come from the heuristic variants).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_portfolio.py``.
+"""
+
+import time
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.compile_api import caqr_compile
+from repro.service import PortfolioCompileService
+from repro.workloads import bv_circuit, random_graph
+
+# objective -> the single-strategy mode that optimises the same thing
+OBJECTIVE_MODES = {"qubits": "max_reuse", "depth": "min_depth"}
+
+WORKLOADS = [
+    ("bv16", lambda: bv_circuit(16)),
+    ("qaoa16-0.3", lambda: random_graph(16, 0.3, seed=7)),
+]
+
+
+def _objective_value(report, objective):
+    if objective == "qubits":
+        return report.metrics.qubits_used
+    return report.metrics.depth
+
+
+def _measure():
+    rows = []
+    service = PortfolioCompileService()
+    for name, build in WORKLOADS:
+        target = build()
+        for objective, mode in OBJECTIVE_MODES.items():
+            start = time.perf_counter()
+            single = caqr_compile(target, mode=mode)
+            t_single = time.perf_counter() - start
+            start = time.perf_counter()
+            raced = service.compile(target, mode=mode, objective=objective)
+            t_race = time.perf_counter() - start
+            single_value = _objective_value(single, objective)
+            raced_value = _objective_value(raced, objective)
+            assert raced_value <= single_value, (
+                f"{name}/{objective}: portfolio {raced_value} worse than "
+                f"single-strategy {single_value}"
+            )
+            rows.append(
+                [
+                    name,
+                    objective,
+                    raced.strategy,
+                    raced_value,
+                    single_value,
+                    round(t_race, 3),
+                    round(t_single, 3),
+                ]
+            )
+    return rows, service.stats
+
+
+def test_portfolio_never_worse(benchmark):
+    rows, stats = once(benchmark, _measure)
+    table = format_table(
+        [
+            "workload",
+            "objective",
+            "winner",
+            "portfolio",
+            "single",
+            "race_s",
+            "single_s",
+        ],
+        rows,
+    )
+    emit("portfolio", table + "\n\nstats: " + stats.summary())

@@ -1,0 +1,99 @@
+"""Portfolio compilation: race every engine, trust the exact oracle.
+
+Shows the premium compile path (``docs/PORTFOLIO.md``):
+
+1. a portfolio compile on BV-5 — the exact branch-and-bound tier wins
+   the qubits objective with a *proven* optimum (gap 0);
+2. the objective changing the winner on the same circuit — depth picks
+   the shallow wide point, qubits the deep narrow one;
+3. the anytime budget — a starved oracle reports best-so-far with
+   ``optimal=False`` and the greedy engines win the race;
+4. win-rate stats accumulating on the service so the portfolio
+   self-tunes its pool submission order.
+
+Run:  python examples/portfolio_compile.py
+"""
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compile_api import caqr_compile
+from repro.service import PortfolioCompileService
+from repro.workloads import bv_circuit
+
+
+def part1_oracle_wins() -> None:
+    print("=" * 68)
+    print("1. The exact tier proves the optimum on BV-5")
+    print("=" * 68)
+    report = caqr_compile(
+        bv_circuit(5), strategy="portfolio", objective="qubits"
+    )
+    print(f"winner:        {report.strategy}")
+    print(f"qubits used:   {report.metrics.qubits_used}")
+    print(f"optimality gap: {report.optimality_gap} "
+          f"(oracle optimal: {report.exact_optimal})")
+    print("per-strategy timings:")
+    for name in sorted(report.strategy_timings):
+        print(f"  {name:<14} {report.strategy_timings[name] * 1000:8.1f} ms")
+    print()
+
+
+def part2_objective_changes_winner() -> None:
+    print("=" * 68)
+    print("2. The objective picks a different winner")
+    print("=" * 68)
+    circuit = bv_circuit(4)
+    for objective in ("qubits", "depth"):
+        report = caqr_compile(
+            circuit, strategy="portfolio", objective=objective
+        )
+        print(f"objective={objective:<7} -> winner={report.strategy:<10} "
+              f"qubits={report.metrics.qubits_used} "
+              f"depth={report.metrics.depth}")
+    print()
+
+
+def _reuse_chain(length: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(length, length)
+    for i in range(length - 1):
+        circuit.cx(i, i + 1)
+    for i in range(length):
+        circuit.measure(i, i)
+    return circuit
+
+
+def part3_anytime_budget() -> None:
+    print("=" * 68)
+    print("3. A starved oracle falls back to the greedy engines")
+    print("=" * 68)
+    service = PortfolioCompileService(exact_max_nodes=2)
+    report = service.compile(
+        _reuse_chain(8), mode="max_reuse", objective="qubits"
+    )
+    print(f"winner:         {report.strategy} "
+          f"({report.metrics.qubits_used} qubits)")
+    print(f"oracle optimal: {report.exact_optimal} "
+          f"(budget cut the search short)")
+    print(f"optimality gap: {report.optimality_gap} "
+          f"(an unproven bound makes no gap claim)")
+    print()
+
+
+def part4_win_rates() -> None:
+    print("=" * 68)
+    print("4. Win-rate stats accumulate on the service")
+    print("=" * 68)
+    service = PortfolioCompileService()
+    for width in (4, 5, 6):
+        service.compile(bv_circuit(width), objective="qubits")
+    for name, count in sorted(service.stats.counters.items()):
+        if name.startswith(("portfolio_compiles", "portfolio_wins",
+                            "portfolio_oracle")):
+            print(f"  {name:<32} {count}")
+    print()
+
+
+if __name__ == "__main__":
+    part1_oracle_wins()
+    part2_objective_changes_winner()
+    part3_anytime_budget()
+    part4_win_rates()

@@ -8,6 +8,7 @@ CLI section mirrors these and ``tests/test_docs.py`` parses both)::
         --output compiled.qasm --draw
     python -m repro compile bv_20 --cache          # content-addressed cache
     python -m repro compile bv_20 --server http://127.0.0.1:8787
+    python -m repro compile bv_5 --strategy portfolio --objective qubits
     python -m repro serve --port 8787 --cache-dir /tmp/caqr-cache
     python -m repro sweep circuit.qasm --backend mumbai
     python -m repro benchmarks            # list bundled benchmark names
@@ -75,6 +76,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         qubit_limit=args.qubit_limit,
         reset_style=args.reset_style,
         cache=_cache_spec(args),
+        strategy=args.strategy,
+        objective=args.objective,
     )
     metrics = report.metrics
     rows = [
@@ -87,6 +90,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         ["qubit saving", f"{report.qubit_saving:.0%}"],
         ["reuse beneficial", report.reuse_beneficial],
     ]
+    if report.strategy is not None:
+        rows.append(["winning strategy", report.strategy])
+        if report.optimality_gap is not None:
+            rows.append(["optimality gap", report.optimality_gap])
+        if report.exact_optimal is not None:
+            rows.append(["oracle optimal", report.exact_optimal])
     if _cache_spec(args):
         rows.append(["served from cache", report.from_cache])
     print(format_table(["metric", "value"], rows, title=f"mode={report.mode}"))
@@ -264,6 +273,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_parser.add_argument(
         "--reset-style", default="cif", choices=["cif", "builtin"]
+    )
+    compile_parser.add_argument(
+        "--strategy",
+        default="auto",
+        choices=["auto", "portfolio"],
+        help="'portfolio' races every engine (plus the exact oracle on "
+        "small circuits) and keeps the objective-best result",
+    )
+    compile_parser.add_argument(
+        "--objective",
+        default=None,
+        choices=["qubits", "depth", "est_error"],
+        help="portfolio winner criterion (est_error needs --backend); "
+        "only valid with --strategy portfolio",
     )
     compile_parser.add_argument("--output", default=None, help="write QASM here")
     compile_parser.add_argument(

@@ -10,7 +10,7 @@ that single entry point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import networkx as nx
 
@@ -53,6 +53,20 @@ class CompileReport:
             without running the compiler — a warm cache entry, an
             in-flight join, or a folded duplicate batch member (see
             ``docs/SERVICE.md``).
+        strategy: the winning strategy's name when the report came out of
+            a portfolio race (``strategy="portfolio"``); ``None`` on the
+            single-strategy path.
+        strategy_timings: per-strategy wall-clock seconds from the race
+            (observability only — excluded from determinism contracts,
+            like the route-stats timers).
+        strategy_errors: strategies that failed inside the race, mapped
+            to their error messages (the per-strategy error channel).
+        optimality_gap: ``winner_qubits - optimal_qubits`` when the exact
+            oracle ran to completion; ``None`` when it did not run.
+        exact_optimal: the oracle's ``optimal`` flag when it ran
+            (``False`` means the anytime budget cut the search short and
+            the bound is best-so-far, not proven); ``None`` when the
+            exact tier was not in the race.
     """
 
     circuit: QuantumCircuit
@@ -63,6 +77,11 @@ class CompileReport:
     qubit_saving: float
     route_stats: Optional[RouteStats] = None
     from_cache: bool = False
+    strategy: Optional[str] = None
+    strategy_timings: Optional[Dict[str, float]] = None
+    strategy_errors: Optional[Dict[str, str]] = None
+    optimality_gap: Optional[int] = None
+    exact_optimal: Optional[bool] = None
 
 
 def caqr_compile(
@@ -76,6 +95,9 @@ def caqr_compile(
     incremental: bool = True,
     parallel: bool = True,
     cache=None,
+    strategy: str = "auto",
+    objective: Optional[str] = None,
+    portfolio_workers: Optional[int] = None,
 ) -> CompileReport:
     """Compile a circuit or QAOA problem graph with qubit reuse.
 
@@ -107,7 +129,25 @@ def caqr_compile(
             :class:`~repro.service.CompileService` uses that instance,
             and ``None``/``False`` (default) compiles directly.  Served
             reports are flagged :attr:`CompileReport.from_cache`.
+        strategy: ``"auto"`` (default) runs the single mode-selected
+            pipeline; ``"portfolio"`` races every applicable engine —
+            the QS variants, SR variants, the commuting pipeline, and
+            the exact branch-and-bound tier on small circuits — and
+            returns the objective-best result (see
+            :class:`~repro.service.portfolio.PortfolioCompileService`
+            and ``docs/PORTFOLIO.md``).
+        objective: the portfolio's winner criterion — ``"qubits"``
+            (default), ``"depth"``, or ``"est_error"`` (needs a
+            backend).  Only valid with ``strategy="portfolio"``.
+        portfolio_workers: process-pool width for the portfolio race
+            (``None`` uses the process-wide default service).  An engine
+            knob: never changes the winning result, only how fast the
+            race runs.
     """
+    if strategy not in ("auto", "portfolio"):
+        raise ReuseError(f"unknown compile strategy {strategy!r}")
+    if objective is not None and strategy != "portfolio":
+        raise ReuseError("objective requires strategy='portfolio'")
     if cache:
         from repro.service.service import resolve_cache
 
@@ -121,6 +161,32 @@ def caqr_compile(
             auto_commuting=auto_commuting,
             incremental=incremental,
             parallel=parallel,
+            strategy=strategy,
+            objective=objective,
+            portfolio_workers=portfolio_workers,
+        )
+    if strategy == "portfolio":
+        from repro.service.portfolio import (
+            PortfolioCompileService,
+            default_portfolio_service,
+        )
+
+        service = (
+            default_portfolio_service()
+            if portfolio_workers is None
+            else PortfolioCompileService(max_workers=portfolio_workers)
+        )
+        return service.compile(
+            target,
+            backend=backend,
+            mode=mode,
+            qubit_limit=qubit_limit,
+            reset_style=reset_style,
+            seed=seed,
+            auto_commuting=auto_commuting,
+            incremental=incremental,
+            parallel=parallel,
+            objective=objective if objective is not None else "qubits",
         )
     angles = None
     if (

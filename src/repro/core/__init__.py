@@ -35,6 +35,7 @@ from repro.core.profile import (
     profile_circuit,
     profile_graph,
 )
+from repro.core.exact import ExactReuse, ExactReuseResult, exact_minimum_qubits
 from repro.core.qs_caqr import QSCaQR, QSCaQRResult
 from repro.core.session import ReuseSession
 from repro.core.qs_commuting import (
@@ -79,6 +80,9 @@ __all__ = [
     "ReuseTransformation",
     "QSCaQR",
     "QSCaQRResult",
+    "ExactReuse",
+    "ExactReuseResult",
+    "exact_minimum_qubits",
     "lifetime_schedule",
     "lifetime_minimum_qubits",
     "vertex_separation_order",

@@ -39,6 +39,12 @@ from repro.service.service import (
     reset_default_service,
     resolve_cache,
 )
+from repro.service.portfolio import (
+    PortfolioCompileService,
+    StrategySpec,
+    default_portfolio_service,
+    reset_default_portfolio_service,
+)
 from repro.service.net import (
     CACHE_STATUSES,
     ERROR_CODES,
@@ -55,6 +61,10 @@ from repro.service.stats import ServiceStats
 __all__ = [
     "CompileRequest",
     "CompileService",
+    "PortfolioCompileService",
+    "StrategySpec",
+    "default_portfolio_service",
+    "reset_default_portfolio_service",
     "CompileServer",
     "RemoteCompileService",
     "ServerHandle",

@@ -18,9 +18,13 @@ compiled result.  This module derives that digest:
   JSON of the target digest, backend digest, and every semantic knob.
 
 The key deliberately **excludes** the engine-selection knobs
-(``incremental``/``parallel``): the differential property harnesses pin
-both engines to identical outputs, so either engine may serve the other's
-cache entry.  See ``docs/SERVICE.md`` for the full contract.
+(``incremental``/``parallel``/``portfolio_workers``): the differential
+property harnesses pin both engines — and the portfolio race across any
+worker count — to identical outputs, so either engine may serve the
+other's cache entry.  ``strategy`` and ``objective`` are *semantic*
+knobs: a portfolio compile may return a different circuit than the
+single-strategy path (that is its job), so they feed the key.  See
+``docs/SERVICE.md`` for the full contract.
 """
 
 from __future__ import annotations
@@ -111,6 +115,8 @@ def request_fingerprint(
     reset_style: str = "cif",
     seed: int = 11,
     auto_commuting: bool = True,
+    strategy: str = "auto",
+    objective: Optional[str] = None,
 ) -> str:
     """The content-addressed cache key for one ``caqr_compile`` request."""
     if isinstance(target, nx.Graph):
@@ -126,6 +132,8 @@ def request_fingerprint(
         "reset_style": reset_style,
         "seed": seed,
         "auto_commuting": bool(auto_commuting),
+        "strategy": strategy,
+        "objective": objective,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()

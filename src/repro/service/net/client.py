@@ -213,6 +213,9 @@ class RemoteCompileService:
         auto_commuting: bool = True,
         incremental: bool = True,
         parallel: bool = True,
+        strategy: str = "auto",
+        objective: Optional[str] = None,
+        portfolio_workers: Optional[int] = None,
     ) -> CompileReport:
         """Remote cached ``caqr_compile`` — same signature as the local one."""
         return self.compile_request(
@@ -226,6 +229,9 @@ class RemoteCompileService:
                 auto_commuting=auto_commuting,
                 incremental=incremental,
                 parallel=parallel,
+                strategy=strategy,
+                objective=objective,
+                portfolio_workers=portfolio_workers,
             )
         )
 

@@ -56,7 +56,9 @@ __all__ = [
     "error_from_wire",
 ]
 
-WIRE_SCHEMA_VERSION = 1
+# v2: portfolio knobs (strategy / objective / portfolio_workers) joined
+# the request envelope; the report record gained the portfolio fields
+WIRE_SCHEMA_VERSION = 2
 
 #: Cache-status labels carried in the ``X-CaQR-Cache`` header and the
 #: response envelope: ``miss`` — this request paid for the compile;
@@ -149,6 +151,9 @@ def request_to_wire(request: CompileRequest) -> Dict[str, Any]:
             "auto_commuting": request.auto_commuting,
             "incremental": request.incremental,
             "parallel": request.parallel,
+            "strategy": request.strategy,
+            "objective": request.objective,
+            "portfolio_workers": request.portfolio_workers,
         },
     }
 
@@ -177,6 +182,8 @@ def request_from_wire(payload: Dict[str, Any]) -> CompileRequest:
         )
         knobs = payload.get("knobs") or {}
         qubit_limit = knobs.get("qubit_limit")
+        objective = knobs.get("objective")
+        portfolio_workers = knobs.get("portfolio_workers")
         return CompileRequest(
             target=target,
             backend=backend,
@@ -187,6 +194,11 @@ def request_from_wire(payload: Dict[str, Any]) -> CompileRequest:
             auto_commuting=bool(knobs.get("auto_commuting", True)),
             incremental=bool(knobs.get("incremental", True)),
             parallel=bool(knobs.get("parallel", True)),
+            strategy=str(knobs.get("strategy", "auto")),
+            objective=str(objective) if objective is not None else None,
+            portfolio_workers=(
+                int(portfolio_workers) if portfolio_workers is not None else None
+            ),
         )
     except WireError:
         raise

@@ -38,7 +38,9 @@ __all__ = [
     "loads_entry",
 ]
 
-SCHEMA_VERSION = 1
+# v2: portfolio fields (strategy, strategy_timings, strategy_errors,
+# optimality_gap, exact_optimal) joined the report record
+SCHEMA_VERSION = 2
 
 
 def circuit_to_dict(circuit: QuantumCircuit) -> Dict[str, Any]:
@@ -137,6 +139,11 @@ def report_to_dict(report: CompileReport) -> Dict[str, Any]:
         "reuse_beneficial": report.reuse_beneficial,
         "qubit_saving": report.qubit_saving,
         "route_stats": _route_stats_to_dict(report.route_stats),
+        "strategy": report.strategy,
+        "strategy_timings": report.strategy_timings,
+        "strategy_errors": report.strategy_errors,
+        "optimality_gap": report.optimality_gap,
+        "exact_optimal": report.exact_optimal,
         # human-readable sidecar only — lossy, never parsed back
         "qasm": to_qasm(report.circuit),
     }
@@ -154,6 +161,27 @@ def report_from_dict(payload: Dict[str, Any]) -> CompileReport:
         qubit_saving=float(payload["qubit_saving"]),
         route_stats=_route_stats_from_dict(payload.get("route_stats")),
         from_cache=True,
+        strategy=payload.get("strategy"),
+        strategy_timings=(
+            {k: float(v) for k, v in payload["strategy_timings"].items()}
+            if payload.get("strategy_timings") is not None
+            else None
+        ),
+        strategy_errors=(
+            {k: str(v) for k, v in payload["strategy_errors"].items()}
+            if payload.get("strategy_errors") is not None
+            else None
+        ),
+        optimality_gap=(
+            int(payload["optimality_gap"])
+            if payload.get("optimality_gap") is not None
+            else None
+        ),
+        exact_optimal=(
+            bool(payload["exact_optimal"])
+            if payload.get("exact_optimal") is not None
+            else None
+        ),
     )
 
 

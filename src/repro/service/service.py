@@ -60,10 +60,13 @@ __all__ = [
 class CompileRequest:
     """One ``caqr_compile`` invocation, as data.
 
-    The semantic knobs (everything except ``incremental``/``parallel``)
-    feed the fingerprint; the engine knobs only select *how* a cold
-    compile runs — the differential harnesses pin both engines to
-    identical outputs, so they never invalidate a key.
+    The semantic knobs (everything except ``incremental``/``parallel``/
+    ``portfolio_workers``) feed the fingerprint; the engine knobs only
+    select *how* a cold compile runs — the differential harnesses pin
+    both engines (and the portfolio race across worker counts) to
+    identical outputs, so they never invalidate a key.  ``strategy`` and
+    ``objective`` are semantic: a portfolio compile may legitimately
+    return a different circuit than the single-strategy path.
     """
 
     target: Union[QuantumCircuit, nx.Graph]
@@ -75,6 +78,9 @@ class CompileRequest:
     auto_commuting: bool = True
     incremental: bool = True
     parallel: bool = True
+    strategy: str = "auto"
+    objective: Optional[str] = None
+    portfolio_workers: Optional[int] = None
 
     def fingerprint(self) -> str:
         """The content-addressed cache key for this request."""
@@ -86,6 +92,8 @@ class CompileRequest:
             reset_style=self.reset_style,
             seed=self.seed,
             auto_commuting=self.auto_commuting,
+            strategy=self.strategy,
+            objective=self.objective,
         )
 
     def shard(self) -> str:
@@ -111,6 +119,12 @@ def _cold_compile(request: CompileRequest, allow_parallel: bool) -> CompileRepor
         incremental=request.incremental,
         parallel=request.parallel and allow_parallel,
         cache=None,
+        strategy=request.strategy,
+        objective=request.objective,
+        portfolio_workers=(
+            # batch workers must not nest the portfolio's process pool
+            request.portfolio_workers if allow_parallel else 1
+        ),
     )
 
 
@@ -171,6 +185,9 @@ class CompileService:
         auto_commuting: bool = True,
         incremental: bool = True,
         parallel: bool = True,
+        strategy: str = "auto",
+        objective: Optional[str] = None,
+        portfolio_workers: Optional[int] = None,
     ) -> CompileReport:
         """Cached ``caqr_compile``: warm keys skip QS/SR entirely."""
         return self.compile_request(
@@ -184,6 +201,9 @@ class CompileService:
                 auto_commuting=auto_commuting,
                 incremental=incremental,
                 parallel=parallel,
+                strategy=strategy,
+                objective=objective,
+                portfolio_workers=portfolio_workers,
             )
         )
 

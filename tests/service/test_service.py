@@ -14,6 +14,7 @@ from repro.service import (
     reset_default_service,
     resolve_cache,
 )
+from repro.service.serialization import SCHEMA_VERSION
 from repro.workloads import bv_circuit, random_graph
 
 
@@ -134,7 +135,11 @@ class TestDiskPersistence:
         service = CompileService(cache_dir=str(tmp_path))
         service.compile(bv_circuit(5))
         [entry] = list(tmp_path.rglob("*.json"))
-        entry.write_text(entry.read_text().replace('"schema": 1', '"schema": 999'))
+        entry.write_text(
+            entry.read_text().replace(
+                f'"schema": {SCHEMA_VERSION}', '"schema": 999'
+            )
+        )
         fresh = CompileService(cache_dir=str(tmp_path))
         assert fresh.compile(bv_circuit(5)).from_cache is False
         assert fresh.stats.counters["corrupt_entries"] == 1
