@@ -10,6 +10,8 @@ CLI section mirrors these and ``tests/test_docs.py`` parses both)::
     python -m repro compile bv_20 --server http://127.0.0.1:8787
     python -m repro compile bv_5 --strategy portfolio --objective qubits
     python -m repro serve --port 8787 --cache-dir /tmp/caqr-cache
+    python -m repro serve --port 8787 --workers-mode persistent \
+        --disk-entries 10000 --request-log /tmp/caqr-requests.jsonl
     python -m repro sweep circuit.qasm --backend mumbai
     python -m repro benchmarks            # list bundled benchmark names
     python -m repro cache stats           # inspect the on-disk cache
@@ -245,6 +247,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrency=args.max_concurrency,
         request_timeout=args.timeout,
         drain_timeout=args.drain_timeout,
+        workers_mode=args.workers_mode,
+        disk_entries=args.disk_entries,
+        disk_bytes=args.disk_bytes,
+        request_log=args.request_log,
     )
 
 
@@ -394,6 +400,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--drain-timeout", type=float, default=30.0,
         help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve_parser.add_argument(
+        "--workers-mode", default=None, choices=["persistent", "ephemeral"],
+        help="batch/portfolio process-pool mode (default: $CAQR_WORKERS_MODE, "
+        "else persistent)",
+    )
+    serve_parser.add_argument(
+        "--disk-entries", type=int, default=None, metavar="N",
+        help="per-shard disk-cache entry cap (LRU eviction past it)",
+    )
+    serve_parser.add_argument(
+        "--disk-bytes", type=int, default=None, metavar="BYTES",
+        help="per-shard disk-cache byte cap (LRU eviction past it)",
+    )
+    serve_parser.add_argument(
+        "--request-log", default=None, metavar="PATH",
+        help="append one JSON record per request to PATH ('-' for stderr; "
+        "default: $CAQR_REQUEST_LOG)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
     return parser

@@ -171,23 +171,29 @@ def caqr_compile(
             default_portfolio_service,
         )
 
-        service = (
-            default_portfolio_service()
+        ephemeral_service = (
+            None
             if portfolio_workers is None
             else PortfolioCompileService(max_workers=portfolio_workers)
         )
-        return service.compile(
-            target,
-            backend=backend,
-            mode=mode,
-            qubit_limit=qubit_limit,
-            reset_style=reset_style,
-            seed=seed,
-            auto_commuting=auto_commuting,
-            incremental=incremental,
-            parallel=parallel,
-            objective=objective if objective is not None else "qubits",
-        )
+        service = ephemeral_service or default_portfolio_service()
+        try:
+            return service.compile(
+                target,
+                backend=backend,
+                mode=mode,
+                qubit_limit=qubit_limit,
+                reset_style=reset_style,
+                seed=seed,
+                auto_commuting=auto_commuting,
+                incremental=incremental,
+                parallel=parallel,
+                objective=objective if objective is not None else "qubits",
+            )
+        finally:
+            if ephemeral_service is not None:
+                # a one-call service must not leak its worker pool
+                ephemeral_service.close()
     angles = None
     if (
         auto_commuting

@@ -39,12 +39,17 @@ from repro.service.service import (
     reset_default_service,
     resolve_cache,
 )
+from repro.service.metrics import DEFAULT_BUCKETS, LatencyHistogram, render_prometheus
 from repro.service.portfolio import (
     PortfolioCompileService,
     StrategySpec,
     default_portfolio_service,
+    peek_default_portfolio_service,
     reset_default_portfolio_service,
+    set_default_portfolio_state_path,
 )
+from repro.service.reqlog import RequestLog
+from repro.service.workers import WorkerPool, resolve_workers_mode
 from repro.service.net import (
     CACHE_STATUSES,
     ERROR_CODES,
@@ -64,7 +69,15 @@ __all__ = [
     "PortfolioCompileService",
     "StrategySpec",
     "default_portfolio_service",
+    "peek_default_portfolio_service",
     "reset_default_portfolio_service",
+    "set_default_portfolio_state_path",
+    "WorkerPool",
+    "resolve_workers_mode",
+    "LatencyHistogram",
+    "DEFAULT_BUCKETS",
+    "render_prometheus",
+    "RequestLog",
     "CompileServer",
     "RemoteCompileService",
     "ServerHandle",

@@ -155,6 +155,14 @@ class DiskCache:
     :data:`DEFAULT_SHARD`.  Flat ``<directory>/<key>.json`` entries from
     the pre-shard layout keep working: lookups fall back to the flat
     path and migrate the file into its shard (``migrated_entries``).
+
+    ``max_entries_per_shard`` / ``max_bytes_per_shard`` turn on per-shard
+    LRU eviction: after every write the owning shard is trimmed back
+    under its caps, oldest entry first (``disk_evictions``).  Recency is
+    file mtime — without a TTL, ``get`` touches the file so hot entries
+    survive; with a TTL, mtime doubles as the entry's age and is left
+    alone, making eviction oldest-written first.  The freshly written
+    entry itself is never evicted.
     """
 
     def __init__(
@@ -162,12 +170,20 @@ class DiskCache:
         directory: str,
         stats: Optional[ServiceStats] = None,
         ttl: Optional[float] = None,
+        max_entries_per_shard: Optional[int] = None,
+        max_bytes_per_shard: Optional[int] = None,
     ):
         if ttl is not None and ttl <= 0:
             raise ServiceError("disk cache needs ttl > 0 (or None)")
+        if max_entries_per_shard is not None and max_entries_per_shard < 1:
+            raise ServiceError("disk cache needs max_entries_per_shard >= 1")
+        if max_bytes_per_shard is not None and max_bytes_per_shard < 1:
+            raise ServiceError("disk cache needs max_bytes_per_shard >= 1")
         self.directory = os.path.abspath(os.path.expanduser(directory))
         self.stats = stats if stats is not None else ServiceStats()
         self.ttl = ttl
+        self.max_entries_per_shard = max_entries_per_shard
+        self.max_bytes_per_shard = max_bytes_per_shard
         os.makedirs(self.directory, exist_ok=True)
 
     def _shard_dir(self, shard: Optional[str]) -> str:
@@ -223,6 +239,15 @@ class DiskCache:
             except OSError:
                 pass
             return None
+        if self.ttl is None and (
+            self.max_entries_per_shard or self.max_bytes_per_shard
+        ):
+            # refresh recency so the evictor is LRU, not oldest-written;
+            # with a TTL, mtime is the entry's age and must not move
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         self.stats.count("disk_hits")
         return text
 
@@ -287,6 +312,54 @@ class DiskCache:
                 pass
             raise
         self.stats.add_value("disk_bytes_written", len(text.encode()))
+        if self.max_entries_per_shard or self.max_bytes_per_shard:
+            self._evict_shard(shard_dir, keep=path)
+
+    def _evict_shard(self, shard_dir: str, keep: str) -> None:
+        """Trim *shard_dir* under the caps, oldest mtime first.
+
+        *keep* (the entry just written) is exempt so a single oversized
+        entry cannot evict itself into a write/evict loop.
+        """
+        entries = []
+        total_bytes = 0
+        try:
+            names = os.listdir(shard_dir)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith(".") or not name.endswith(_ENTRY_SUFFIX):
+                continue
+            path = os.path.join(shard_dir, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, path))
+            total_bytes += info.st_size
+        entries.sort()
+        removed = 0
+        for _, path in entries:
+            over_entries = (
+                self.max_entries_per_shard is not None
+                and len(entries) - removed > self.max_entries_per_shard
+            )
+            over_bytes = (
+                self.max_bytes_per_shard is not None
+                and total_bytes > self.max_bytes_per_shard
+            )
+            if not (over_entries or over_bytes):
+                break
+            if path == keep:
+                continue
+            try:
+                size = os.path.getsize(path)
+                os.remove(path)
+            except OSError:
+                continue
+            removed += 1
+            total_bytes -= size
+            self.stats.count("disk_evictions")
 
     def shards(self) -> List[str]:
         """Sorted shard directory names currently on disk."""

@@ -305,6 +305,15 @@ class RemoteCompileService:
             raise RemoteServiceError("malformed stats payload", code="internal")
         return payload
 
+    def metrics(self) -> str:
+        """``GET /v1/metrics``: the Prometheus text exposition body."""
+        _, _, payload = self._exchange("GET", "/v1/metrics")
+        if not isinstance(payload, str):
+            # the exposition format is not JSON; a decoded dict means
+            # the server answered something that is not a metrics body
+            raise RemoteServiceError("malformed metrics payload", code="internal")
+        return payload
+
     def invalidate(self, fingerprint: str) -> bool:
         """Drop one fingerprint server-side; True if an entry existed."""
         _, _, payload = self._exchange(

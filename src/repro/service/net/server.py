@@ -12,12 +12,16 @@ Endpoints
 ---------
 
 ===========================  ======================================================
-``GET  /v1/health``          liveness + draining flag (always answered, even
-                             mid-drain)
+``GET  /v1/health``          liveness + ``uptime_s`` / ``inflight`` / ``draining``
+                             gauges (always answered, even mid-drain)
 ``GET  /v1/stats``           :class:`ServiceStats` snapshot + per-shard disk usage
+                             + the same process gauges
+``GET  /v1/metrics``         Prometheus text format 0.0.4: counters, gauges,
+                             timers, and request-latency histograms (answered
+                             mid-drain so scrapes survive a rollout)
 ``POST /v1/compile``         one request envelope -> one response envelope, with
-                             ``X-CaQR-Fingerprint`` and ``X-CaQR-Cache:
-                             hit|miss|inflight`` headers
+                             ``X-CaQR-Fingerprint``, ``X-CaQR-Cache:
+                             hit|miss|inflight`` and ``X-CaQR-Strategy`` headers
 ``POST /v1/compile_batch``   ``{"requests": [...], "parallel": bool}`` -> results
                              in input order (duplicates folded server-side)
 ``POST /v1/cache/invalidate``  ``{"fingerprint": ...}`` or ``{"all": true}``
@@ -40,19 +44,34 @@ Operational behaviour:
   join it through the dedup table;
 * **graceful drain** — SIGTERM/SIGINT stops accepting connections,
   lets in-flight requests finish (up to ``drain_timeout``), then closes
-  remaining keep-alive connections and exits cleanly.
+  remaining keep-alive connections (and the service's persistent worker
+  pool) and exits cleanly;
+* **encoded-envelope cache** — warm ``/v1/compile`` hits are answered
+  from an LRU of pre-serialized response bodies keyed by
+  ``(fingerprint, wire schema version)``, skipping ``report_to_dict``
+  and JSON encoding entirely (``envelope_hits``); entries drop with the
+  underlying cache entry (TTL check on every fast-path hit, explicit
+  ``/v1/cache/invalidate``);
+* **observability** — every request is timed into fixed-bucket latency
+  histograms (``request_latency`` plus per-route), exported by
+  ``GET /v1/metrics``, and optionally logged as one JSONL record
+  (:mod:`repro.service.reqlog`, ``$CAQR_REQUEST_LOG``).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.exceptions import ReproError, ServiceError
+from repro.service.metrics import render_prometheus
 from repro.service.net.wire import (
     WIRE_SCHEMA_VERSION,
     WireError,
@@ -60,7 +79,9 @@ from repro.service.net.wire import (
     request_from_wire,
     response_to_wire,
 )
+from repro.service.reqlog import RequestLog
 from repro.service.service import CompileService
+from repro.service.stats import ServiceStats
 
 __all__ = [
     "DEFAULT_PORT",
@@ -75,8 +96,21 @@ DEFAULT_MAX_BODY = 32 * 1024 * 1024
 DEFAULT_MAX_CONCURRENCY = 32
 DEFAULT_REQUEST_TIMEOUT = 600.0
 DEFAULT_DRAIN_TIMEOUT = 30.0
+DEFAULT_ENVELOPE_ENTRIES = 1024
 _MAX_HEADER_BYTES = 64 * 1024
 _KEEPALIVE_TIMEOUT = 75.0
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Routes that get their own latency histogram (bounding label
+#: cardinality: arbitrary 404 paths only feed the overall histogram).
+_ROUTES = (
+    "/v1/health",
+    "/v1/stats",
+    "/v1/metrics",
+    "/v1/compile",
+    "/v1/compile_batch",
+    "/v1/cache/invalidate",
+)
 
 _REASONS = {
     200: "OK",
@@ -91,8 +125,52 @@ _REASONS = {
     504: "Gateway Timeout",
 }
 
-# dispatch result: (status, JSON payload, extra headers)
-_Reply = Tuple[int, Dict[str, Any], Dict[str, str]]
+# dispatch result: (status, JSON payload or pre-encoded body bytes, extra headers)
+_Reply = Tuple[int, Union[Dict[str, Any], bytes], Dict[str, str]]
+
+
+class _EnvelopeCache:
+    """Thread-safe LRU of pre-encoded response bodies.
+
+    Keys are ``(fingerprint, WIRE_SCHEMA_VERSION)`` so a schema bump
+    can never serve a stale envelope shape from a long-lived process.
+    """
+
+    def __init__(self, max_entries: int):
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, fingerprint: str) -> Optional[bytes]:
+        key = (fingerprint, WIRE_SCHEMA_VERSION)
+        with self._lock:
+            body = self._entries.get(key)
+            if body is not None:
+                self._entries.move_to_end(key)
+            return body
+
+    def put(self, fingerprint: str, body: bytes) -> None:
+        key = (fingerprint, WIRE_SCHEMA_VERSION)
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, fingerprint: str) -> bool:
+        with self._lock:
+            return (
+                self._entries.pop((fingerprint, WIRE_SCHEMA_VERSION), None)
+                is not None
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 class CompileServer:
@@ -109,6 +187,12 @@ class CompileServer:
         request_timeout: seconds before an admitted compile answers
             ``504 timeout`` (the compile keeps running server-side).
         drain_timeout: seconds shutdown waits for in-flight requests.
+        envelope_cache_entries: LRU cap of the encoded-envelope cache
+            (pre-serialized warm-hit response bodies); ``0`` disables it.
+        request_log: structured JSONL request log — a path string, an
+            existing :class:`~repro.service.reqlog.RequestLog`, or
+            ``None`` to honour ``$CAQR_REQUEST_LOG`` (no logging when
+            that is unset too).
     """
 
     def __init__(
@@ -121,11 +205,15 @@ class CompileServer:
         max_body: int = DEFAULT_MAX_BODY,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        envelope_cache_entries: int = DEFAULT_ENVELOPE_ENTRIES,
+        request_log: Union[None, str, RequestLog] = None,
     ):
         if max_concurrency < 1:
             raise ServiceError("server needs max_concurrency >= 1")
         if max_body < 1:
             raise ServiceError("server needs max_body >= 1")
+        if envelope_cache_entries < 0:
+            raise ServiceError("server needs envelope_cache_entries >= 0")
         self.service = service if service is not None else CompileService()
         self.stats = self.service.stats
         self.host = host
@@ -135,6 +223,20 @@ class CompileServer:
         self.max_body = max_body
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
+        self._envelope = (
+            _EnvelopeCache(envelope_cache_entries)
+            if envelope_cache_entries
+            else None
+        )
+        if isinstance(request_log, RequestLog):
+            self._request_log: Optional[RequestLog] = request_log
+            self._owns_log = False
+        elif isinstance(request_log, str):
+            self._request_log = RequestLog(request_log)
+            self._owns_log = True
+        else:
+            self._request_log = RequestLog.from_env()
+            self._owns_log = self._request_log is not None
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -144,6 +246,7 @@ class CompileServer:
         self._inflight = 0
         self._active_compiles = 0
         self._draining = False
+        self._started_monotonic: Optional[float] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -160,7 +263,14 @@ class CompileServer:
             self._handle_connection, self.host, self.port, limit=_MAX_HEADER_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
         return self
+
+    def uptime_s(self) -> float:
+        """Seconds since the listening socket bound (0.0 before start)."""
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
 
     async def serve(self, install_signal_handlers: bool = True) -> None:
         """Serve until :meth:`request_shutdown` fires, then drain and stop."""
@@ -210,6 +320,9 @@ class CompileServer:
                 pass
         if self._pool is not None:
             self._pool.shutdown(wait=False)
+        self.service.close()
+        if self._owns_log and self._request_log is not None:
+            self._request_log.close()
 
     # -- connection handling ---------------------------------------------------
 
@@ -317,24 +430,37 @@ class CompileServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], bytes],
         extra_headers: Dict[str, str],
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload).encode()
+        # payload is either a JSON-compatible dict or a pre-encoded body
+        # (the envelope fast path and the Prometheus text endpoint)
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        else:
+            body = json.dumps(payload).encode()
+        content_type = "application/json"
+        passthrough = []
+        for name, value in extra_headers.items():
+            if name.lower() == "content-type":
+                content_type = value
+            else:
+                passthrough.append((name, value))
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: " + ("keep-alive" if keep_alive else "close"),
         ]
-        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        lines.extend(f"{name}: {value}" for name, value in passthrough)
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
         await writer.drain()
 
     # -- routing ---------------------------------------------------------------
 
     async def _dispatch(self, method: str, path: str, body: bytes) -> _Reply:
+        start = time.perf_counter()
         self._inflight += 1
         self._idle_event.clear()
         self.stats.count("http_requests")
@@ -357,7 +483,35 @@ class CompileServer:
                 self._idle_event.set()
         if reply[0] >= 400:
             self.stats.count("http_errors")
+        elapsed = time.perf_counter() - start
+        self.stats.observe("request_latency", elapsed)
+        if path in _ROUTES:
+            self.stats.observe(f"request_latency:{path}", elapsed)
+        self._log_request(method, path, reply, elapsed)
         return reply
+
+    def _log_request(
+        self, method: str, path: str, reply: _Reply, elapsed: float
+    ) -> None:
+        log = self._request_log
+        if log is None:
+            return
+        status, payload, extra = reply
+        error = None
+        if status >= 400 and isinstance(payload, dict):
+            detail = payload.get("error")
+            if isinstance(detail, dict):
+                error = detail.get("code")
+        log.log(
+            method=method,
+            path=path,
+            status=status,
+            latency_ms=round(elapsed * 1000.0, 3),
+            fingerprint=extra.get("X-CaQR-Fingerprint"),
+            cache=extra.get("X-CaQR-Cache"),
+            strategy=extra.get("X-CaQR-Strategy"),
+            error=error,
+        )
 
     async def _route(self, method: str, path: str, body: bytes) -> _Reply:
         if path == "/v1/health":
@@ -369,8 +523,19 @@ class CompileServer:
                     "schema": WIRE_SCHEMA_VERSION,
                     "status": "draining" if self._draining else "ok",
                     "draining": self._draining,
+                    "uptime_s": self.uptime_s(),
+                    "inflight": self._inflight,
                 },
                 {},
+            )
+        if path == "/v1/metrics":
+            # answered mid-drain too: scrapes must survive a rollout
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            return (
+                200,
+                self._metrics_body(),
+                {"Content-Type": _PROMETHEUS_CONTENT_TYPE},
             )
         if self._draining:
             self.stats.count("http_rejected")
@@ -412,7 +577,33 @@ class CompileServer:
             "schema": WIRE_SCHEMA_VERSION,
             "stats": self.stats.to_dict(),
             "shards": shards,
+            "uptime_s": self.uptime_s(),
+            "inflight": self._inflight,
+            "draining": self._draining,
         }
+
+    def _metrics_body(self) -> bytes:
+        """The ``GET /v1/metrics`` Prometheus exposition body."""
+        disk = self.service.cache.disk
+        if disk is not None:
+            disk.refresh_shard_gauges()
+        snapshot = ServiceStats()
+        snapshot.merge(self.stats)
+        # fold in the process-wide portfolio service's win rates (the
+        # strategy="portfolio" lanes report there) without creating it
+        from repro.service.portfolio import peek_default_portfolio_service
+
+        portfolio = peek_default_portfolio_service()
+        if portfolio is not None and portfolio.stats is not self.stats:
+            snapshot.merge(portfolio.stats)
+        extra = {
+            "uptime_seconds": self.uptime_s(),
+            "inflight": float(self._inflight),
+            "draining": 1.0 if self._draining else 0.0,
+        }
+        if self._envelope is not None:
+            extra["envelope_entries"] = float(len(self._envelope))
+        return render_prometheus(snapshot, extra_gauges=extra).encode()
 
     @staticmethod
     def _json_body(body: bytes) -> Any:
@@ -429,16 +620,54 @@ class CompileServer:
         if not admitted:
             return reply
         try:
-            outcome, reply = await self._offload(
-                self.service.compile_classified, request
-            )
+            outcome, reply = await self._offload(self._compile_encoded, request)
             if outcome is None:
                 return reply
-            report, key, status = outcome
+            encoded, key, status = outcome
         finally:
             self._active_compiles -= 1
-        headers = {"X-CaQR-Fingerprint": key, "X-CaQR-Cache": status}
-        return 200, response_to_wire(key, status, report), headers
+        headers = {
+            "X-CaQR-Fingerprint": key,
+            "X-CaQR-Cache": status,
+            "X-CaQR-Strategy": request.strategy,
+        }
+        return 200, encoded, headers
+
+    def _compile_encoded(self, request) -> Tuple[bytes, str, str]:
+        """Worker-thread compile returning the encoded response body.
+
+        Warm path: a cached envelope whose underlying cache entry still
+        exists is returned as raw bytes — no ``report_to_dict``, no JSON
+        encoding, no report deserialization at all (``envelope_hits``).
+        Otherwise the request runs through ``compile_classified`` and a
+        genuine hit's body is stored for the next repeat.
+        """
+        envelope = self._envelope
+        key: Optional[str] = None
+        if envelope is not None:
+            with self.stats.timed("fingerprint"):
+                key = request.fingerprint()
+            body = envelope.get(key)
+            if body is not None:
+                # the envelope is only as alive as the cache entry
+                # behind it (TTL expiry, invalidation, clear)
+                if self.service.cache.get(key, request.shard()) is not None:
+                    self.stats.count("requests")
+                    self.stats.count("hits")
+                    self.stats.count("envelope_hits")
+                    return body, key, "hit"
+                envelope.invalidate(key)
+        report, key, status = self.service.compile_classified(
+            request, fingerprint=key
+        )
+        with self.stats.timed("serialize"):
+            body = json.dumps(response_to_wire(key, status, report)).encode()
+        if envelope is not None and status == "hit":
+            # store only genuine-hit bodies: they are exactly what the
+            # fast path must replay, from_cache flag included
+            envelope.put(key, body)
+            self.stats.count("envelope_stores")
+        return body, key, status
 
     async def _handle_batch(self, body: bytes) -> _Reply:
         payload = self._json_body(body)
@@ -520,12 +749,16 @@ class CompileServer:
             raise WireError("invalidate envelope must be a JSON object")
         if payload.get("all"):
             self.service.clear()
+            if self._envelope is not None:
+                self._envelope.clear()
             self.stats.count("invalidations")
             return 200, {"schema": WIRE_SCHEMA_VERSION, "cleared": True}, {}
         fingerprint = payload.get("fingerprint")
         if not isinstance(fingerprint, str) or not fingerprint:
             raise WireError("invalidate envelope needs a fingerprint (or all)")
         removed = self.service.invalidate(fingerprint)
+        if self._envelope is not None and self._envelope.invalidate(fingerprint):
+            self.stats.count("envelope_invalidations")
         return (
             200,
             {
@@ -598,14 +831,35 @@ def run_server(
     max_body: int = DEFAULT_MAX_BODY,
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    workers_mode: Optional[str] = None,
+    disk_entries: Optional[int] = None,
+    disk_bytes: Optional[int] = None,
+    request_log: Optional[str] = None,
 ) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Prints ``serving on <host>:<port>`` once bound (machine-parseable —
     the CI smoke script and process supervisors key on it), then runs
-    until SIGTERM/SIGINT, drains, and returns 0.
+    until SIGTERM/SIGINT, drains, and returns 0.  With a ``cache_dir``
+    the portfolio win-rate state persists next to the disk cache
+    (``portfolio_state.json``) so self-tuning survives restarts.
     """
-    service = CompileService(cache_dir=cache_dir, ttl=ttl)
+    service = CompileService(
+        cache_dir=cache_dir,
+        ttl=ttl,
+        workers_mode=workers_mode,
+        disk_entries=disk_entries,
+        disk_bytes=disk_bytes,
+    )
+    if cache_dir:
+        from repro.service.portfolio import set_default_portfolio_state_path
+
+        set_default_portfolio_state_path(
+            os.path.join(
+                os.path.abspath(os.path.expanduser(cache_dir)),
+                "portfolio_state.json",
+            )
+        )
     server = CompileServer(
         service=service,
         host=host,
@@ -615,6 +869,7 @@ def run_server(
         max_body=max_body,
         request_timeout=request_timeout,
         drain_timeout=drain_timeout,
+        request_log=request_log,
     )
 
     async def _main() -> None:

@@ -44,10 +44,13 @@ See ``docs/PORTFOLIO.md`` for the full contract and
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from threading import Lock
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import networkx as nx
@@ -71,6 +74,7 @@ from repro.exceptions import ReuseError
 from repro.hardware.backends import Backend
 from repro.service.service import CompileRequest
 from repro.service.stats import ServiceStats
+from repro.service.workers import WorkerPool, resolve_workers_mode
 from repro.sim.metrics import estimated_success_probability
 from repro.transpiler.pipeline import transpile
 from repro.transpiler.stats import RouteStats
@@ -81,7 +85,9 @@ __all__ = [
     "StrategyOutcome",
     "PortfolioCompileService",
     "default_portfolio_service",
+    "peek_default_portfolio_service",
     "reset_default_portfolio_service",
+    "set_default_portfolio_state_path",
 ]
 
 #: The objectives a portfolio compile may optimise.
@@ -391,6 +397,14 @@ class PortfolioCompileService:
             :class:`StrategySpec`); ``None`` builds the default roster
             per request.  The override replaces the roster wholesale —
             tests use it to inject poisoned strategies.
+        workers_mode: ``"persistent"`` (default; ``$CAQR_WORKERS_MODE``)
+            races lanes over a long-lived
+            :class:`~repro.service.workers.WorkerPool` with the request
+            shipped once per worker; ``"ephemeral"`` keeps the per-race
+            pool.
+        state_path: optional JSON file persisting the win-rate counters
+            (the self-tuned submission order) across restarts — loaded
+            on construction, rewritten atomically after every race.
     """
 
     def __init__(
@@ -400,12 +414,95 @@ class PortfolioCompileService:
         exact_max_nodes: int = DEFAULT_EXACT_MAX_NODES,
         exact_max_qubits: int = DEFAULT_EXACT_MAX_QUBITS,
         strategies: Optional[List[StrategySpec]] = None,
+        workers_mode: Optional[str] = None,
+        state_path: Optional[str] = None,
     ):
         self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
         self.stats = stats if stats is not None else ServiceStats()
         self.exact_max_nodes = exact_max_nodes
         self.exact_max_qubits = exact_max_qubits
         self.strategies = strategies
+        self.workers_mode = resolve_workers_mode(workers_mode)
+        self.state_path = state_path
+        self._worker_pool: Optional[WorkerPool] = None
+        self._pool_lock = Lock()
+        if state_path:
+            self._load_state()
+
+    def worker_pool(self) -> WorkerPool:
+        """The lazily spawned persistent race pool (shared stats sink)."""
+        with self._pool_lock:
+            if self._worker_pool is None:
+                self._worker_pool = WorkerPool(self.max_workers, stats=self.stats)
+            return self._worker_pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        with self._pool_lock:
+            if self._worker_pool is not None:
+                self._worker_pool.shutdown()
+                self._worker_pool = None
+
+    # -- win-rate persistence --------------------------------------------------
+
+    _STATE_SCHEMA = 1
+
+    @staticmethod
+    def _is_state_counter(name: str) -> bool:
+        return name == "portfolio_compiles" or name.startswith("portfolio_wins:")
+
+    def _load_state(self) -> None:
+        """Merge persisted win-rate counters into the stats sink.
+
+        A missing, unreadable, or schema-mismatched file is a clean
+        cold start, never an error — state is an optimisation hint.
+        """
+        try:
+            with open(self.state_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != self._STATE_SCHEMA
+        ):
+            return
+        counters = payload.get("counters")
+        if not isinstance(counters, dict):
+            return
+        for name, value in counters.items():
+            if self._is_state_counter(name) and isinstance(value, int):
+                self.stats.count(name, value)
+        self.stats.count("portfolio_state_loads")
+
+    def _save_state(self) -> None:
+        """Atomically persist the win-rate counters (best-effort)."""
+        if not self.state_path:
+            return
+        counters = {
+            name: value
+            for name, value in self.stats.counters.items()
+            if self._is_state_counter(name)
+        }
+        payload = {"schema": self._STATE_SCHEMA, "counters": counters}
+        directory = os.path.dirname(os.path.abspath(self.state_path))
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".state-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp_path, self.state_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.count("portfolio_state_errors")
 
     # -- roster ----------------------------------------------------------------
 
@@ -547,8 +644,17 @@ class PortfolioCompileService:
         if parallel and workers > 1 and len(payloads) > 1:
             self.stats.count("portfolio_parallel_races")
             with self.stats.timed("portfolio_race"):
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(_run_strategy_worker, payloads))
+                if self.workers_mode == "persistent":
+                    # one fingerprint for the whole race: every lane
+                    # shares the request, so warm workers decode it once
+                    fingerprint = request.fingerprint()
+                    tasks = [
+                        ("strategy", fingerprint, request, spec) for spec in specs
+                    ]
+                    outcomes = self.worker_pool().run(tasks)
+                else:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        outcomes = list(pool.map(_run_strategy_worker, payloads))
         else:
             self.stats.count("portfolio_serial_races")
             with self.stats.timed("portfolio_race"):
@@ -620,6 +726,7 @@ class PortfolioCompileService:
         report.strategy_errors = errors
         report.optimality_gap = optimality_gap
         report.exact_optimal = exact_optimal
+        self._save_state()
         return report
 
     def _objective_key(
@@ -735,6 +842,7 @@ class PortfolioCompileService:
 # -- process-wide default (win-rate history accumulates across calls) ----------
 
 _default_portfolio: Optional[PortfolioCompileService] = None
+_default_state_path: Optional[str] = None
 
 
 def default_portfolio_service() -> PortfolioCompileService:
@@ -742,12 +850,43 @@ def default_portfolio_service() -> PortfolioCompileService:
 
     ``caqr_compile(strategy="portfolio")`` routes through this instance
     so the win-rate history (and therefore the pool submission order)
-    improves over a process's lifetime.
+    improves over a process's lifetime.  When a state path is configured
+    (:func:`set_default_portfolio_state_path`, or implicitly
+    ``$CAQR_CACHE_DIR/portfolio_state.json`` when that variable is set)
+    the history also survives restarts.
     """
     global _default_portfolio
     if _default_portfolio is None:
-        _default_portfolio = PortfolioCompileService()
+        state_path = _default_state_path
+        if state_path is None:
+            cache_dir = os.environ.get("CAQR_CACHE_DIR") or None
+            if cache_dir:
+                state_path = os.path.join(
+                    os.path.expanduser(cache_dir), "portfolio_state.json"
+                )
+        _default_portfolio = PortfolioCompileService(state_path=state_path)
     return _default_portfolio
+
+
+def peek_default_portfolio_service() -> Optional[PortfolioCompileService]:
+    """The process-wide service if it exists, without creating one.
+
+    The metrics endpoint uses this to fold portfolio win rates into
+    ``GET /v1/metrics`` without forcing an idle service into being.
+    """
+    return _default_portfolio
+
+
+def set_default_portfolio_state_path(path: Optional[str]) -> None:
+    """Pin where the process-wide service persists win-rate state.
+
+    ``repro serve --cache-dir DIR`` calls this with
+    ``DIR/portfolio_state.json`` so self-tuning survives a redeploy.
+    Resets the current default service so the next use reloads state.
+    """
+    global _default_portfolio, _default_state_path
+    _default_state_path = path
+    _default_portfolio = None
 
 
 def reset_default_portfolio_service() -> None:

@@ -1,0 +1,102 @@
+"""Structured JSON request logs for the HTTP front-end.
+
+One JSONL record per served HTTP request, written behind
+``$CAQR_REQUEST_LOG`` (a file path, or ``-`` for stderr).  The schema is
+flat and stable so fleet tooling can tail it without a parser:
+
+``ts`` (unix seconds), ``method``, ``path``, ``status`` (HTTP code),
+``latency_ms``, ``fingerprint`` (request cache key, ``null`` for
+non-compile routes), ``cache`` (``hit|miss|inflight``, ``null`` when not
+applicable), ``strategy`` (``auto|portfolio|...``), ``error`` (wire
+error code on >=400 responses, else ``null``).
+
+Thread-safe: the server logs from the event loop while compiles run on
+worker threads; a lock serializes whole lines so records never
+interleave.  Logging failures are swallowed — observability must never
+take a request down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Optional, TextIO, Union
+
+__all__ = ["REQUEST_LOG_ENV", "RequestLog"]
+
+REQUEST_LOG_ENV = "CAQR_REQUEST_LOG"
+
+#: Every record carries exactly these keys (missing values are ``null``).
+RECORD_FIELDS = (
+    "ts",
+    "method",
+    "path",
+    "status",
+    "latency_ms",
+    "fingerprint",
+    "cache",
+    "strategy",
+    "error",
+)
+
+
+class RequestLog:
+    """Append-only JSONL request log (thread-safe).
+
+    *target* is a path (opened in append mode), ``"-"`` for stderr, or
+    an already-open text handle (not closed by :meth:`close`).
+    """
+
+    def __init__(self, target: Union[str, TextIO]):
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self._handle: Optional[TextIO] = target  # type: ignore[assignment]
+            self._owns = False
+        elif target == "-":
+            self._handle = sys.stderr
+            self._owns = False
+        else:
+            path = os.path.abspath(os.path.expanduser(str(target)))
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "a", encoding="utf-8")
+            self._owns = True
+
+    @classmethod
+    def from_env(cls) -> Optional["RequestLog"]:
+        """A log writing to ``$CAQR_REQUEST_LOG``, or ``None`` if unset."""
+        target = os.environ.get(REQUEST_LOG_ENV)
+        return cls(target) if target else None
+
+    def log(self, **fields: Any) -> None:
+        """Write one record; unknown fields are kept, known ones defaulted."""
+        record = {name: None for name in RECORD_FIELDS}
+        record["ts"] = round(time.time(), 6)
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+        except (TypeError, ValueError):
+            return
+        handle = self._handle
+        if handle is None:
+            return
+        try:
+            with self._lock:
+                handle.write(line + "\n")
+                handle.flush()
+        except (OSError, ValueError):
+            pass  # a full disk or closed handle must not fail the request
+
+    def close(self) -> None:
+        """Close the underlying file if this log opened it."""
+        with self._lock:
+            if self._owns and self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+            self._handle = None

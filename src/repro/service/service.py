@@ -46,6 +46,7 @@ from repro.service.cache import (
 from repro.service.fingerprint import backend_digest, request_fingerprint
 from repro.service.serialization import dumps_entry, loads_entry
 from repro.service.stats import ServiceStats
+from repro.service.workers import WorkerPool, resolve_workers_mode
 
 __all__ = [
     "CompileRequest",
@@ -151,6 +152,13 @@ class CompileService:
         ttl: optional entry lifetime in seconds for *both* tiers —
             entries older than this count as misses and are dropped
             (groundwork for calibration-drift invalidation).
+        workers_mode: ``"persistent"`` (default; overridable via
+            ``$CAQR_WORKERS_MODE``) reuses one long-lived
+            :class:`~repro.service.workers.WorkerPool` across batch
+            calls with fingerprint-keyed zero-copy request records;
+            ``"ephemeral"`` keeps the old per-call pool.
+        disk_entries / disk_bytes: optional per-shard LRU caps on the
+            persistent tier (see :class:`~repro.service.cache.DiskCache`).
     """
 
     def __init__(
@@ -161,16 +169,46 @@ class CompileService:
         max_workers: Optional[int] = None,
         stats: Optional[ServiceStats] = None,
         ttl: Optional[float] = None,
+        workers_mode: Optional[str] = None,
+        disk_entries: Optional[int] = None,
+        disk_bytes: Optional[int] = None,
     ):
         self.stats = stats if stats is not None else ServiceStats()
         memory = MemoryCache(
             memory_entries, memory_bytes, stats=self.stats, ttl=ttl
         )
-        disk = DiskCache(cache_dir, stats=self.stats, ttl=ttl) if cache_dir else None
+        disk = (
+            DiskCache(
+                cache_dir,
+                stats=self.stats,
+                ttl=ttl,
+                max_entries_per_shard=disk_entries,
+                max_bytes_per_shard=disk_bytes,
+            )
+            if cache_dir
+            else None
+        )
         self.cache = TieredCache(memory, disk)
         self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
+        self.workers_mode = resolve_workers_mode(workers_mode)
         self._lock = Lock()
         self._inflight: Dict[str, "Future[str]"] = {}
+        self._worker_pool: Optional[WorkerPool] = None
+        self._pool_lock = Lock()
+
+    def worker_pool(self) -> WorkerPool:
+        """The lazily spawned persistent pool (shared stats sink)."""
+        with self._pool_lock:
+            if self._worker_pool is None:
+                self._worker_pool = WorkerPool(self.max_workers, stats=self.stats)
+            return self._worker_pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        with self._pool_lock:
+            if self._worker_pool is not None:
+                self._worker_pool.shutdown()
+                self._worker_pool = None
 
     # -- single-request path -------------------------------------------------
 
@@ -212,7 +250,7 @@ class CompileService:
         return self.compile_classified(request)[0]
 
     def compile_classified(
-        self, request: CompileRequest
+        self, request: CompileRequest, fingerprint: Optional[str] = None
     ) -> Tuple[CompileReport, str, str]:
         """Serve one request, returning ``(report, fingerprint, status)``.
 
@@ -220,12 +258,16 @@ class CompileService:
         tier), ``"inflight"`` (joined an identical compilation another
         request started), or ``"miss"`` (this request paid for the cold
         compile).  The HTTP server forwards it as the ``X-CaQR-Cache``
-        header.
+        header.  Callers that already derived the fingerprint (the
+        server's envelope fast path) pass it to skip re-hashing.
         """
         stats = self.stats
         stats.count("requests")
-        with stats.timed("fingerprint"):
-            key = request.fingerprint()
+        if fingerprint is not None:
+            key = fingerprint
+        else:
+            with stats.timed("fingerprint"):
+                key = request.fingerprint()
         shard = request.shard()
         report = self._lookup(key, shard)
         if report is not None:
@@ -311,9 +353,21 @@ class CompileService:
                 if parallel and len(cold) > 1 and workers > 1:
                     stats.count("parallel_compiles", len(cold))
                     with stats.timed("compile"):
-                        with ProcessPoolExecutor(max_workers=workers) as pool:
-                            for key, text in pool.map(_compile_entry_worker, cold):
+                        if self.workers_mode == "persistent":
+                            tasks = [
+                                ("entry", key, request, None)
+                                for key, request in cold
+                            ]
+                            for (key, _), text in zip(
+                                cold, self.worker_pool().run(tasks)
+                            ):
                                 texts[key] = text
+                        else:
+                            with ProcessPoolExecutor(max_workers=workers) as pool:
+                                for key, text in pool.map(
+                                    _compile_entry_worker, cold
+                                ):
+                                    texts[key] = text
                 else:
                     stats.count("serial_compiles", len(cold))
                     for key, request in cold:

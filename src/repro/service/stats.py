@@ -43,6 +43,14 @@ The HTTP front-end (:mod:`repro.service.net.server`) adds
 Time buckets (seconds): ``fingerprint`` (cache-key derivation), ``lookup``
 (tier probes), ``compile`` (cold ``caqr_compile`` runs), ``serialize`` /
 ``deserialize`` (report codec), ``store`` (cache writes).
+
+The persistent worker pool (:mod:`repro.service.workers`) adds
+``worker_pool_spawns`` / ``worker_respawns`` / ``worker_tasks`` /
+``worker_records_shipped`` / ``worker_record_misses`` counters, and the
+HTTP server adds latency *histograms* (``request_latency`` plus
+per-endpoint ``request_latency:<path>``) — fixed-bucket
+:class:`~repro.service.metrics.LatencyHistogram` objects fed through
+:meth:`ServiceStats.observe` and exported by ``GET /v1/metrics``.
 """
 
 from __future__ import annotations
@@ -52,16 +60,19 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from repro.service.metrics import LatencyHistogram
+
 __all__ = ["ServiceStats"]
 
 
 @dataclass
 class ServiceStats:
-    """Counter/gauge/timer sink for one compile service (or many, merged)."""
+    """Counter/gauge/timer/histogram sink for one compile service (or many, merged)."""
 
     counters: Dict[str, int] = field(default_factory=dict)
     timers: Dict[str, float] = field(default_factory=dict)
     values: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, LatencyHistogram] = field(default_factory=dict)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter *name* by *amount*."""
@@ -78,6 +89,13 @@ class ServiceStats:
     def set_value(self, name: str, value: float) -> None:
         """Overwrite gauge *name*."""
         self.values[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record *seconds* into latency histogram *name*."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LatencyHistogram()
+        hist.observe(seconds)
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
@@ -104,28 +122,39 @@ class ServiceStats:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible snapshot (the ``/v1/stats`` endpoint payload)."""
-        return {
+        payload: Dict[str, object] = {
             "counters": dict(self.counters),
             "timers": dict(self.timers),
             "values": dict(self.values),
             "hit_rate": self.hit_rate,
             "dedup_rate": self.dedup_rate,
         }
+        if self.histograms:
+            payload["histograms"] = {
+                name: hist.to_dict() for name, hist in self.histograms.items()
+            }
+        return payload
 
     def merge(self, other: "ServiceStats") -> None:
-        """Fold *other*'s counters, gauges, and timers into this instance."""
+        """Fold *other*'s counters, gauges, timers, and histograms in."""
         for name, value in other.counters.items():
             self.count(name, value)
         for name, value in other.timers.items():
             self.add_time(name, value)
         for name, value in other.values.items():
             self.add_value(name, value)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = LatencyHistogram(hist.buckets)
+            mine.merge(hist)
 
     def reset(self) -> None:
-        """Zero all counters, gauges, and timers."""
+        """Zero all counters, gauges, timers, and histograms."""
         self.counters.clear()
         self.timers.clear()
         self.values.clear()
+        self.histograms.clear()
 
     def summary(self) -> str:
         """One-line report for benchmark and CLI output."""

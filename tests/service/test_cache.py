@@ -281,3 +281,94 @@ class TestStats:
         with stats.timed("lookup"):
             pass
         assert stats.timers["lookup"] >= 0.0
+
+
+class TestDiskEviction:
+    """Per-shard LRU eviction behind the byte/entry caps."""
+
+    def _backdate(self, cache, key, age, shard=None):
+        path = cache._path(key, shard)
+        stamp = os.path.getmtime(path) - age
+        os.utime(path, (stamp, stamp))
+
+    def test_entry_cap_evicts_oldest(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_entries_per_shard=2)
+        cache.put("aa", "1")
+        self._backdate(cache, "aa", 200)
+        cache.put("bb", "2")
+        self._backdate(cache, "bb", 100)
+        cache.put("cc", "3")
+        assert cache.get("aa") is None
+        assert cache.get("bb") == "2"
+        assert cache.get("cc") == "3"
+        assert cache.stats.counters["disk_evictions"] == 1
+
+    def test_byte_cap_evicts_until_under(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes_per_shard=250)
+        cache.put("aa", "x" * 100)
+        self._backdate(cache, "aa", 200)
+        cache.put("bb", "y" * 100)
+        self._backdate(cache, "bb", 100)
+        cache.put("cc", "z" * 100)  # 300 bytes in the shard -> drop "aa"
+        assert cache.get("aa") is None
+        assert cache.get("bb") == "y" * 100
+        assert cache.get("cc") == "z" * 100
+        assert cache.stats.counters["disk_evictions"] == 1
+
+    def test_get_refreshes_recency_without_ttl(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_entries_per_shard=2)
+        cache.put("aa", "1")
+        self._backdate(cache, "aa", 200)
+        cache.put("bb", "2")
+        self._backdate(cache, "bb", 100)
+        assert cache.get("aa") == "1"  # touches mtime: "aa" is hot again
+        cache.put("cc", "3")
+        assert cache.get("bb") is None, "the cold entry is the one evicted"
+        assert cache.get("aa") == "1"
+        assert cache.get("cc") == "3"
+
+    def test_ttl_mode_evicts_oldest_written(self, tmp_path):
+        # with a TTL, mtime doubles as the entry's age: a hit must NOT
+        # refresh it, so eviction stays oldest-written first
+        cache = DiskCache(str(tmp_path), ttl=3600.0, max_entries_per_shard=2)
+        cache.put("aa", "1")
+        self._backdate(cache, "aa", 200)
+        cache.put("bb", "2")
+        self._backdate(cache, "bb", 100)
+        assert cache.get("aa") == "1"  # a hit, but recency must not move
+        cache.put("cc", "3")
+        assert cache.get("aa") is None
+        assert cache.get("bb") == "2"
+
+    def test_fresh_write_survives_even_over_cap(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_bytes_per_shard=150)
+        cache.put("aa", "x" * 100)
+        self._backdate(cache, "aa", 100)
+        cache.put("bb", "y" * 200)  # over the cap all by itself
+        assert cache.get("aa") is None
+        assert cache.get("bb") == "y" * 200, "the fresh entry is never evicted"
+
+    def test_shards_trim_independently(self, tmp_path):
+        cache = DiskCache(str(tmp_path), max_entries_per_shard=1)
+        cache.put("aa", "1", shard="s1")
+        cache.put("bb", "2", shard="s2")
+        assert cache.get("aa", shard="s1") == "1"
+        assert cache.get("bb", shard="s2") == "2"
+        self._backdate(cache, "aa", 100, shard="s1")
+        cache.put("cc", "3", shard="s1")
+        assert cache.get("aa", shard="s1") is None
+        assert cache.get("bb", shard="s2") == "2"
+        assert cache.get("cc", shard="s1") == "3"
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        cache = DiskCache(str(tmp_path))
+        for i in range(5):
+            cache.put(f"k{i}", "x" * 100)
+        assert all(cache.get(f"k{i}") for i in range(5))
+        assert "disk_evictions" not in cache.stats.counters
+
+    def test_invalid_caps_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            DiskCache(str(tmp_path), max_entries_per_shard=0)
+        with pytest.raises(ServiceError):
+            DiskCache(str(tmp_path), max_bytes_per_shard=0)

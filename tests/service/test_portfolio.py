@@ -9,6 +9,8 @@ anytime-budget fallback, the win-rate stats, and remote==local through
 the wire protocol.
 """
 
+import json
+
 import pytest
 
 from repro.circuit.random import random_circuit
@@ -329,3 +331,103 @@ def test_remote_equals_local_portfolio():
 def test_unknown_strategy_rejected_at_the_api():
     with pytest.raises(ReuseError, match="strategy"):
         caqr_compile(bv_circuit(4), strategy="racing")
+
+
+# -- persistent pool + persisted win-rate state --------------------------------
+
+
+def test_persistent_pool_race_matches_serial():
+    """The long-lived worker pool races identically to the serial path,
+    and the second race on the same request re-ships nothing."""
+    circuit = _sample_circuit(3)
+    serial = PortfolioCompileService(max_workers=1)
+    pooled = PortfolioCompileService(max_workers=2, workers_mode="persistent")
+    try:
+        base = serial.compile(circuit, objective="qubits", parallel=False)
+        fast = pooled.compile(circuit, objective="qubits", parallel=True)
+        _assert_same_report(base, fast, "persistent pool")
+        assert pooled.stats.counters["worker_pool_spawns"] == 1
+        shipped = pooled.stats.counters["worker_records_shipped"]
+        again = pooled.compile(circuit, objective="qubits", parallel=True)
+        _assert_same_report(base, again, "persistent pool, warm lane")
+        assert pooled.stats.counters["worker_pool_spawns"] == 1
+        assert pooled.stats.counters["worker_records_shipped"] == shipped, (
+            "a warm re-race must not re-ship the request record"
+        )
+    finally:
+        serial.close()
+        pooled.close()
+
+
+def test_ephemeral_pool_race_matches_serial():
+    circuit = _sample_circuit(4)
+    serial = PortfolioCompileService(max_workers=1)
+    pooled = PortfolioCompileService(max_workers=2, workers_mode="ephemeral")
+    try:
+        _assert_same_report(
+            serial.compile(circuit, objective="qubits", parallel=False),
+            pooled.compile(circuit, objective="qubits", parallel=True),
+            "ephemeral pool",
+        )
+        assert "worker_pool_spawns" not in pooled.stats.counters
+    finally:
+        serial.close()
+        pooled.close()
+
+
+def test_win_rate_state_persists_across_restarts(tmp_path):
+    state_path = str(tmp_path / "portfolio_state.json")
+    first = PortfolioCompileService(max_workers=1, state_path=state_path)
+    first.compile(bv_circuit(4), objective="qubits", parallel=False)
+    first.compile(bv_circuit(5), objective="qubits", parallel=False)
+    saved = {
+        name: count
+        for name, count in first.stats.counters.items()
+        if name == "portfolio_compiles" or name.startswith("portfolio_wins:")
+    }
+    assert saved["portfolio_compiles"] == 2
+    payload = json.loads((tmp_path / "portfolio_state.json").read_text())
+    assert payload["schema"] == PortfolioCompileService._STATE_SCHEMA
+    assert payload["counters"] == saved
+    reborn = PortfolioCompileService(max_workers=1, state_path=state_path)
+    for name, count in saved.items():
+        assert reborn.stats.counters.get(name) == count
+    assert reborn.stats.counters["portfolio_state_loads"] == 1
+    first.close()
+    reborn.close()
+
+
+def test_corrupt_state_is_a_clean_cold_start(tmp_path):
+    state_path = tmp_path / "portfolio_state.json"
+    state_path.write_text("{this is not json")
+    service = PortfolioCompileService(max_workers=1, state_path=str(state_path))
+    assert "portfolio_state_loads" not in service.stats.counters
+    service.compile(bv_circuit(4), objective="qubits", parallel=False)
+    payload = json.loads(state_path.read_text())  # rewritten with good state
+    assert payload["counters"]["portfolio_compiles"] == 1
+    service.close()
+
+
+def test_loaded_state_reorders_submission_not_results(tmp_path):
+    state_path = tmp_path / "portfolio_state.json"
+    state_path.write_text(
+        json.dumps(
+            {
+                "schema": PortfolioCompileService._STATE_SCHEMA,
+                "counters": {
+                    "portfolio_compiles": 50,
+                    "portfolio_wins:qs-narrow": 50,
+                },
+            }
+        )
+    )
+    circuit = _sample_circuit(5)
+    fresh = PortfolioCompileService(max_workers=1)
+    loaded = PortfolioCompileService(max_workers=1, state_path=str(state_path))
+    _assert_same_report(
+        fresh.compile(circuit, objective="qubits", parallel=False),
+        loaded.compile(circuit, objective="qubits", parallel=False),
+        "persisted win-rate skew",
+    )
+    fresh.close()
+    loaded.close()

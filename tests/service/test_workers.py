@@ -1,0 +1,228 @@
+"""Persistent worker pool: record protocol, respawn, serial == pooled.
+
+The protocol tests drive ``_worker_task`` in-process (no subprocess
+spawn) after resetting the worker-side decoded cache; the pool tests
+spawn a real (small) pool and exercise the crash/respawn drill and the
+need_record round trip; the service tests pin the contract that matters
+most — a pooled ``compile_batch`` is bit-identical to the serial path,
+in both ``persistent`` and ``ephemeral`` modes.
+"""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    CompileService,
+    ServiceStats,
+    WorkerPool,
+    loads_entry,
+    report_to_dict,
+    resolve_workers_mode,
+)
+from repro.service.serialization import dumps_entry
+from repro.service.service import CompileRequest, _cold_compile
+from repro.service.workers import (
+    DEFAULT_WORKERS_MODE,
+    WORKERS_MODES,
+    _decode_record,
+    _encode_record,
+    _reset_worker_state,
+    _worker_task,
+)
+from repro.workloads import bv_circuit
+
+
+class TestWorkersMode:
+    def test_default_is_persistent(self, monkeypatch):
+        monkeypatch.delenv("CAQR_WORKERS_MODE", raising=False)
+        assert DEFAULT_WORKERS_MODE == "persistent"
+        assert resolve_workers_mode(None) == "persistent"
+
+    def test_explicit_modes(self):
+        for mode in WORKERS_MODES:
+            assert resolve_workers_mode(mode) == mode
+
+    def test_env_fallback_and_explicit_override(self, monkeypatch):
+        monkeypatch.setenv("CAQR_WORKERS_MODE", "ephemeral")
+        assert resolve_workers_mode(None) == "ephemeral"
+        assert resolve_workers_mode("persistent") == "persistent"
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        with pytest.raises(ServiceError, match="unknown workers mode"):
+            resolve_workers_mode("forked")
+        monkeypatch.setenv("CAQR_WORKERS_MODE", "junk")
+        with pytest.raises(ServiceError, match="unknown workers mode"):
+            resolve_workers_mode(None)
+
+
+class TestRecordCodec:
+    def test_wire_roundtrip(self):
+        request = CompileRequest(target=bv_circuit(4), mode="max_reuse", seed=3)
+        kind, payload = _encode_record(request)
+        assert kind == "wire"
+        decoded = _decode_record((kind, payload))
+        assert decoded.fingerprint() == request.fingerprint()
+
+    def test_object_fallback_for_wire_inexpressible_targets(self):
+        sentinel = object()  # not a CompileRequest: wire encoding fails
+        kind, payload = _encode_record(sentinel)
+        assert kind == "object"
+        assert _decode_record((kind, payload)) is sentinel
+
+
+class TestWorkerTaskProtocol:
+    """``_worker_task`` run in this process against a reset decoded cache."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_worker_state(self):
+        _reset_worker_state()
+        yield
+        _reset_worker_state()
+
+    def test_cold_worker_without_record_asks_for_it(self):
+        request = CompileRequest(target=bv_circuit(4))
+        fingerprint = request.fingerprint()
+        assert _worker_task(("entry", fingerprint, None, None)) == (
+            "need_record",
+            fingerprint,
+        )
+
+    def test_entry_with_record_matches_serial_compile_exactly(self):
+        request = CompileRequest(target=bv_circuit(4))
+        fingerprint = request.fingerprint()
+        record = _encode_record(request)
+        status, text = _worker_task(("entry", fingerprint, record, None))
+        assert status == "ok"
+        expected = dumps_entry(
+            fingerprint, _cold_compile(request, allow_parallel=False)
+        )
+        assert text == expected, "pooled entry must be bit-identical to serial"
+
+    def test_warm_lane_needs_no_record(self):
+        request = CompileRequest(target=bv_circuit(4))
+        fingerprint = request.fingerprint()
+        record = _encode_record(request)
+        _, first = _worker_task(("entry", fingerprint, record, None))
+        status, second = _worker_task(("entry", fingerprint, None, None))
+        assert status == "ok"
+        assert second == first
+
+    def test_ping_answers_pid(self):
+        status, pid = _worker_task(("ping", "", None, None))
+        assert status == "ok"
+        assert isinstance(pid, int)
+
+    def test_unknown_kind_rejected(self):
+        request = CompileRequest(target=bv_circuit(4))
+        record = _encode_record(request)
+        with pytest.raises(ServiceError, match="unknown worker task kind"):
+            _worker_task(("transmogrify", request.fingerprint(), record, None))
+
+
+class TestWorkerPool:
+    def test_crash_respawn_drill(self):
+        stats = ServiceStats()
+        pool = WorkerPool(1, stats=stats, max_respawns=1)
+        try:
+            assert pool.ping()
+            spawns_before = stats.counters["worker_pool_spawns"]
+            with pytest.raises(ServiceError, match="worker pool died"):
+                pool.run([("crash", "", None, None)])
+            assert stats.counters["worker_respawns"] >= 2
+            # the pool heals: the next use spawns fresh workers
+            assert pool.ping()
+            assert stats.counters["worker_pool_spawns"] > spawns_before
+        finally:
+            pool.shutdown()
+
+    def test_need_record_roundtrip_then_zero_copy_redispatch(self):
+        stats = ServiceStats()
+        pool = WorkerPool(1, stats=stats)
+        request = CompileRequest(target=bv_circuit(4))
+        fingerprint = request.fingerprint()
+        try:
+            assert pool.ping()  # spawn now so _shipped survives below
+            # pretend the record already shipped: the cold worker answers
+            # need_record and the parent resubmits with the record forced
+            pool._shipped[fingerprint] = pool.max_workers
+            [text] = pool.run([("entry", fingerprint, request, None)])
+            loads_entry(text, key=fingerprint)  # validates the stamped key
+            assert stats.counters["worker_record_misses"] == 1
+            assert stats.counters["worker_records_shipped"] == 1
+            # the lane is warm: a re-dispatch ships nothing and matches
+            pool._shipped[fingerprint] = pool.max_workers
+            [again] = pool.run([("entry", fingerprint, request, None)])
+            assert again == text
+            assert stats.counters["worker_record_misses"] == 1
+            assert stats.counters["worker_records_shipped"] == 1
+        finally:
+            pool.shutdown()
+
+    def test_results_come_back_in_input_order(self):
+        pool = WorkerPool(2)
+        requests = [CompileRequest(target=bv_circuit(n)) for n in (4, 5, 6)]
+        try:
+            texts = pool.run(
+                [("entry", r.fingerprint(), r, None) for r in requests]
+            )
+            for request, text in zip(requests, texts):
+                # loads_entry validates the stamped key matches the request
+                loads_entry(text, key=request.fingerprint())
+        finally:
+            pool.shutdown()
+
+
+class TestServiceIntegration:
+    def _batch_dicts(self, reports):
+        return [report_to_dict(report) for report in reports]
+
+    def test_persistent_batch_matches_serial_and_reuses_the_pool(self):
+        requests = [CompileRequest(target=bv_circuit(n)) for n in (4, 5, 6)]
+        serial = CompileService()
+        pooled = CompileService(max_workers=2, workers_mode="persistent")
+        try:
+            base = self._batch_dicts(serial.compile_batch(requests, parallel=False))
+            fast = self._batch_dicts(
+                pooled.compile_batch(requests, parallel=True, max_workers=2)
+            )
+            assert fast == base, "pooled batch must be bit-identical to serial"
+            assert pooled.stats.counters["worker_pool_spawns"] == 1
+            assert pooled.stats.counters["worker_tasks"] >= 3
+            # a second dispatch reuses the same pool generation
+            pooled.cache.clear()
+            again = self._batch_dicts(
+                pooled.compile_batch(requests, parallel=True, max_workers=2)
+            )
+            assert again == base
+            assert pooled.stats.counters["worker_pool_spawns"] == 1
+        finally:
+            serial.close()
+            pooled.close()
+
+    def test_ephemeral_mode_matches_serial(self):
+        requests = [CompileRequest(target=bv_circuit(n)) for n in (4, 5)]
+        serial = CompileService()
+        ephemeral = CompileService(max_workers=2, workers_mode="ephemeral")
+        try:
+            base = self._batch_dicts(serial.compile_batch(requests, parallel=False))
+            fast = self._batch_dicts(
+                ephemeral.compile_batch(requests, parallel=True, max_workers=2)
+            )
+            assert fast == base
+            assert "worker_pool_spawns" not in ephemeral.stats.counters
+        finally:
+            serial.close()
+            ephemeral.close()
+
+    def test_close_is_idempotent_and_the_pool_respawns_lazily(self):
+        service = CompileService(max_workers=2, workers_mode="persistent")
+        requests = [CompileRequest(target=bv_circuit(n)) for n in (4, 5)]
+        try:
+            service.compile_batch(requests, parallel=True, max_workers=2)
+            service.close()
+            service.close()
+            service.cache.clear()
+            service.compile_batch(requests, parallel=True, max_workers=2)
+            assert service.stats.counters["worker_pool_spawns"] == 2
+        finally:
+            service.close()
