@@ -1,0 +1,315 @@
+#!/usr/bin/env python
+"""Cross-process smoke test for the consistent-hash compile fleet.
+
+The acceptance drill for the gateway, run by the CI ``fleet-smoke`` job
+and locally via::
+
+    PYTHONPATH=src python scripts/fleet_smoke.py
+
+Five checks against three real ``repro serve`` subprocesses fronted by
+one real ``repro gateway`` subprocess, all on loopback ports:
+
+1. **fleet-wide dedup** — eight client *processes* request the same
+   cold ``bv_40`` compile through the gateway; the whole fleet pays for
+   exactly one compilation, every client gets a bit-identical report,
+   and the compile landed on the backend the hash ring predicts
+   (computed out-of-process with the same sha256 ring);
+2. **SIGKILL failover** — one backend is killed mid-run while clients
+   hammer a spread of keys; zero client-visible errors (requests walk
+   to the next replica);
+3. **interim ownership** — a key whose full-ring owner is the dead
+   backend compiles exactly once on its stand-in;
+4. **peer cache fill** — the dead backend is respawned on the same
+   port with a cold cache; when the key re-homes to it, the gateway
+   replays the stand-in's warm envelope and fills the rejoined owner —
+   no recompile (the respawned backend's ``misses`` stays 0);
+5. **metrics** — the gateway's ``/v1/metrics`` body parses with the
+   strict test-suite parser and carries the fleet families
+   (``peer_fills``, ``marked_down{backend=...}``, ``backends_up``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+sys.path.insert(0, REPO_ROOT)  # for tests.service.test_metrics helpers
+
+N_SERVERS = 3
+N_CLIENTS = 8
+DEDUP_WIDTH = 40  # ~1s cold: every client arrives inside the compile window
+HAMMER_SECONDS = 4.0
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def _spawn(args, announce="serving on "):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + args,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    line = process.stdout.readline().strip()
+    if not line.startswith(announce):
+        process.kill()
+        raise SystemExit(f"{args[0]} did not announce itself: {line!r}")
+    host_port = line[len(announce):].split(" ")[0]
+    return process, f"http://{host_port}"
+
+
+def _start_server(port=0):
+    return _spawn(["serve", "--port", str(port)])
+
+
+def _start_gateway(backend_urls):
+    args = ["gateway", "--port", "0", "--probe-interval", "0.3",
+            "--mark-down-after", "2"]
+    for url in backend_urls:
+        args += ["--backend", url]
+    return _spawn(args)
+
+
+def _client_worker(url: str, width: int, queue) -> None:
+    """One client process: compile bv_<width> and report what it saw."""
+    from repro.service import RemoteCompileService
+    from repro.service.serialization import report_to_dict
+    from repro.service.service import CompileRequest
+    from repro.workloads import bv_circuit
+
+    client = RemoteCompileService(url, timeout=300)
+    report, fingerprint, status = client.compile_classified(
+        CompileRequest(target=bv_circuit(width))
+    )
+    record = report_to_dict(report)
+    record.pop("from_cache", None)  # only the paying client differs here
+    queue.put(
+        {
+            "pid": os.getpid(),
+            "fingerprint": fingerprint,
+            "status": status,
+            "report_json": json.dumps(record, sort_keys=True),
+        }
+    )
+
+
+def _hammer_worker(url: str, widths, deadline_s: float, queue) -> None:
+    """Loop warm compiles across ``widths`` until the deadline; count errors."""
+    from repro.service import RemoteCompileService
+    from repro.workloads import bv_circuit
+
+    client = RemoteCompileService(url, timeout=120, backoff=0.05)
+    requests = errors = 0
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        for width in widths:
+            requests += 1
+            try:
+                client.compile(bv_circuit(width))
+            except Exception as exc:
+                errors += 1
+                queue.put({"error": f"bv_{width}: {type(exc).__name__}: {exc}"})
+    queue.put({"requests": requests, "errors": errors})
+
+
+def _backend_misses(gateway_url):
+    from repro.service import RemoteCompileService
+
+    payload = RemoteCompileService(gateway_url, timeout=60).stats()
+    return {
+        url: entry.get("stats", {}).get("counters", {}).get("misses", 0)
+        for url, entry in payload["backends"].items()
+    }
+
+
+def main() -> int:
+    context = multiprocessing.get_context("spawn")
+    servers = {}
+    for _ in range(N_SERVERS):
+        process, url = _start_server()
+        servers[url] = process
+    urls = list(servers)
+    gateway, gateway_url = _start_gateway(urls)
+    print(f"fleet: {urls} behind {gateway_url}")
+
+    from repro.service import RemoteCompileService
+    from repro.service.fleet import HashRing, ring_key
+    from repro.service.service import CompileRequest
+    from repro.workloads import bv_circuit
+
+    try:
+        # -- 1. eight processes, one cold compile fleet-wide ---------------
+        queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_client_worker, args=(gateway_url, DEDUP_WIDTH, queue)
+            )
+            for _ in range(N_CLIENTS)
+        ]
+        for worker in workers:
+            worker.start()
+        results = [queue.get(timeout=300) for _ in workers]
+        for worker in workers:
+            worker.join(30)
+        check(len(results) == N_CLIENTS, f"all {N_CLIENTS} clients answered")
+        payloads = {r["report_json"] for r in results}
+        check(len(payloads) == 1, "every client received a bit-identical report")
+        misses = _backend_misses(gateway_url)
+        check(
+            sum(misses.values()) == 1,
+            f"the fleet compiled exactly once ({misses})",
+        )
+        ring = HashRing(urls)
+        request = CompileRequest(target=bv_circuit(DEDUP_WIDTH))
+        predicted = ring.owner(ring_key(request.shard(), request.fingerprint()))
+        check(
+            misses[predicted] == 1,
+            f"the compile landed on the ring-predicted backend {predicted}",
+        )
+
+        # -- pre-warm a key spread for the failover hammer -----------------
+        widths = list(range(3, 9))
+        observer = RemoteCompileService(gateway_url, timeout=120)
+        for width in widths:
+            observer.compile(bv_circuit(width))
+
+        # -- pick the victim: not the owner of the dedup key ---------------
+        victim = next(url for url in urls if url != predicted)
+        victim_port = int(victim.rsplit(":", 1)[1])
+        # a probe key whose full-ring owner is the victim (for phases 3-4)
+        probe_width = next(
+            w
+            for w in range(9, 64)
+            if ring.owner(
+                ring_key(
+                    CompileRequest(target=bv_circuit(w)).shard(),
+                    CompileRequest(target=bv_circuit(w)).fingerprint(),
+                )
+            )
+            == victim
+        )
+
+        # -- 2. SIGKILL one backend while clients hammer warm keys ---------
+        queue = context.Queue()
+        hammers = [
+            context.Process(
+                target=_hammer_worker,
+                args=(gateway_url, widths, HAMMER_SECONDS, queue),
+            )
+            for _ in range(4)
+        ]
+        for worker in hammers:
+            worker.start()
+        time.sleep(1.0)
+        servers[victim].kill()
+        print(f"killed backend {victim} (pid {servers[victim].pid})")
+        summaries, errors = [], []
+        deadline = time.time() + HAMMER_SECONDS + 120
+        while len(summaries) < len(hammers) and time.time() < deadline:
+            item = queue.get(timeout=120)
+            (summaries if "requests" in item else errors).append(item)
+        for worker in hammers:
+            worker.join(30)
+        total = sum(s["requests"] for s in summaries)
+        check(
+            not errors and all(s["errors"] == 0 for s in summaries),
+            f"zero client-visible errors across {total} requests "
+            f"with a backend dying mid-run (errors: {errors[:3]})",
+        )
+
+        # -- 3. the dead backend's keys compile once on a stand-in ---------
+        cold = observer.compile(bv_circuit(probe_width))
+        check(
+            not cold.from_cache,
+            f"bv_{probe_width} (owned by the dead backend) compiled cold "
+            "on its stand-in",
+        )
+        warm = observer.compile(bv_circuit(probe_width))
+        check(warm.from_cache, "and is warm on the stand-in afterwards")
+
+        # -- 4. respawn the victim: re-homed key fills from its peer -------
+        process, reborn_url = _start_server(victim_port)
+        check(reborn_url == victim, f"backend respawned at {victim}")
+        servers[victim] = process
+        deadline = time.time() + 30
+        health = {}
+        while time.time() < deadline:
+            health = observer.health()
+            if victim in health.get("fleet", {}).get("up", []):
+                break
+            time.sleep(0.2)
+        check(
+            victim in health.get("fleet", {}).get("up", []),
+            "the gateway re-probed the respawned backend into the ring",
+        )
+        refilled = observer.compile(bv_circuit(probe_width))
+        check(
+            refilled.from_cache,
+            f"bv_{probe_width} stayed warm through the re-home "
+            "(peer fill, no recompile)",
+        )
+        check(
+            refilled.metrics == cold.metrics,
+            "re-homed report matches the original compile",
+        )
+        reborn_misses = _backend_misses(gateway_url)[victim]
+        check(
+            reborn_misses == 0,
+            f"the respawned backend never recompiled (misses={reborn_misses})",
+        )
+
+        # -- 5. gateway metrics parse with the strict test parser ----------
+        from tests.service.test_metrics import parse_prometheus, sample_value
+
+        body = observer.metrics()
+        types, samples = parse_prometheus(body)
+        check(
+            types.get("caqr_gateway_peer_fills_total") == "counter"
+            and sample_value(samples, "caqr_gateway_peer_fills_total") >= 1,
+            "gateway counted the peer fill",
+        )
+        marked = [
+            (labels.get("backend"), value)
+            for name, labels, value in samples
+            if name == "caqr_gateway_marked_down_total"
+        ]
+        check(
+            any(url == victim and value >= 1 for url, value in marked),
+            f"gateway counted the mark-down of {victim}",
+        )
+        check(
+            sample_value(samples, "caqr_gateway_backends_up") == N_SERVERS,
+            "every backend is back up in the gauge",
+        )
+    finally:
+        gateway.terminate()
+        for process in servers.values():
+            if process.poll() is None:
+                process.terminate()
+        gateway.wait(timeout=30)
+        for process in servers.values():
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    print("fleet smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,18 @@ Operations:
 * ``cold`` — every request mints a fresh fingerprint (the seed varies),
   measuring the full compile path;
 * ``batch`` — a 3-member ``/v1/compile_batch`` of warm keys;
-* ``portfolio`` — a warm ``strategy="portfolio"`` compile.
+* ``portfolio`` — a warm ``strategy="portfolio"`` compile;
+* ``shard`` — round-robins one circuit over several distinct synthetic
+  calibrations, so requests spread across cache shards — and, through a
+  ``repro gateway``, across backends (each calibration's shard digest
+  pins it to one ring owner).
+
+``--fleet`` switches the default mix to a shard-heavy profile and, when
+the target turns out to be a gateway (its ``/v1/stats`` carries a
+``backends`` map), prints per-backend request counts and hit rates
+after the run.  With no ``--url`` it self-hosts a miniature fleet —
+three backend threads sharing one request log behind a gateway thread —
+instead of a single server.
 
 ``--smoke`` runs a short self-checking pass for CI: it fails (exit 1) on
 any 5xx/transport error, on a warm p99 above ``--p99-budget``, on an
@@ -45,14 +56,17 @@ from repro.exceptions import RemoteServiceError  # noqa: E402
 from repro.service import (  # noqa: E402
     CompileService,
     RemoteCompileService,
+    start_gateway_thread,
     start_server_thread,
 )
-from repro.service.reqlog import RECORD_FIELDS  # noqa: E402
+from repro.service.reqlog import RECORD_FIELDS, RequestLog  # noqa: E402
 from repro.service.service import CompileRequest  # noqa: E402
 from repro.workloads import bv_circuit  # noqa: E402
 
 DEFAULT_MIX = "warm=0.7,cold=0.1,batch=0.1,portfolio=0.1"
-OPERATIONS = ("warm", "cold", "batch", "portfolio")
+FLEET_MIX = "warm=0.35,shard=0.45,cold=0.1,batch=0.1"
+OPERATIONS = ("warm", "cold", "batch", "portfolio", "shard")
+N_SHARD_CALIBRATIONS = 6
 
 
 def parse_mix(text: str):
@@ -148,10 +162,29 @@ class Mix:
             CompileRequest(target=bv_circuit(width + offset))
             for offset in (0, 1, 2)
         ]
+        from repro.hardware import generic_backend, line
+
+        # distinct calibration seeds -> distinct shard digests: through a
+        # gateway each one consistently lands on its own ring owner
+        self.shard_requests = [
+            CompileRequest(
+                target=bv_circuit(width),
+                backend=generic_backend(line(width + 2), seed=1000 + k),
+            )
+            for k in range(N_SHARD_CALIBRATIONS)
+        ]
+        self._shard_counter = 0
 
     def pick(self):
         with self._lock:
             return self._rng.choices(self.names, weights=self.weights)[0]
+
+    def shard_request(self):
+        with self._lock:
+            self._shard_counter += 1
+            return self.shard_requests[
+                self._shard_counter % len(self.shard_requests)
+            ]
 
     def cold_request(self):
         with self._lock:
@@ -169,6 +202,8 @@ def run_op(client, mix, op):
         client.compile_batch(mix.batch_requests)
     elif op == "portfolio":
         client.compile_classified(mix.portfolio_request)
+    elif op == "shard":
+        client.compile_classified(mix.shard_request())
 
 
 def worker(url, mix, recorder, deadline, interval, timeout):
@@ -195,15 +230,39 @@ def worker(url, mix, recorder, deadline, interval, timeout):
         client.close()
 
 
-def prime(url, mix, timeout):
+def prime(url, mix, weights, timeout):
     """Warm every repeated lane once so the run measures steady state."""
     client = RemoteCompileService(url, timeout=timeout, retries=0)
     try:
         client.compile_classified(mix.warm_request)
-        client.compile_classified(mix.portfolio_request)
-        client.compile_batch(mix.batch_requests)
+        if weights.get("portfolio"):
+            client.compile_classified(mix.portfolio_request)
+        if weights.get("batch"):
+            client.compile_batch(mix.batch_requests)
+        if weights.get("shard"):
+            for request in mix.shard_requests:
+                client.compile_classified(request)
     finally:
         client.close()
+
+
+def print_fleet_report(stats_payload):
+    """Per-backend request counts and hit rates (gateway targets only)."""
+    backends = stats_payload.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        return
+    print("\nper-backend (gateway view):")
+    header = f"{'backend':<28} {'requests':>9} {'hits':>7} {'misses':>7} {'hit rate':>9}"
+    print(header)
+    print("-" * len(header))
+    for url in sorted(backends):
+        counters = backends[url].get("stats", {}).get("counters", {})
+        hits = counters.get("hits", 0) + counters.get("inflight_hits", 0)
+        misses = counters.get("misses", 0)
+        requests = counters.get("requests", 0)
+        served = hits + misses
+        rate = (hits / served) if served else 0.0
+        print(f"{url:<28} {requests:>9} {hits:>7} {misses:>7} {rate:>9.1%}")
 
 
 def check(condition, message):
@@ -227,7 +286,11 @@ def smoke_checks(summary, metrics_body, log_path, p99_budget):
         f"warm p99 {warm.get('p99_ms', 0.0):.1f}ms within {budget_ms:.0f}ms",
     )
     check(
-        metrics_body.startswith("# HELP") and "caqr_requests_total" in metrics_body,
+        metrics_body.startswith("# HELP")
+        and (
+            "caqr_requests_total" in metrics_body  # a compile server
+            or "caqr_gateway_http_requests_total" in metrics_body  # a gateway
+        ),
         "/v1/metrics answers a Prometheus exposition body",
     )
     if log_path is not None:
@@ -259,8 +322,15 @@ def main(argv=None):
     parser.add_argument("--p99-budget", type=float, default=2.0, help="smoke gate: max warm p99 seconds")
     parser.add_argument("--smoke", action="store_true", help="short self-checking CI pass")
     parser.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help=f"shard-heavy profile for gateway targets (mix {FLEET_MIX}) "
+        "plus a per-backend hit-rate report",
+    )
     args = parser.parse_args(argv)
 
+    if args.fleet and args.mix == DEFAULT_MIX:
+        args.mix = FLEET_MIX
     if args.smoke:
         args.duration = min(args.duration, 5.0)
         args.rps = min(args.rps, 20.0)
@@ -269,7 +339,8 @@ def main(argv=None):
     mix = Mix(weights, args.width, args.seed)
     recorder = Recorder()
 
-    handle = None
+    handles = []
+    shared_log = None
     log_path = None
     url = args.url
     try:
@@ -278,13 +349,36 @@ def main(argv=None):
                 REPO_ROOT, "benchmarks", "results", f"loadgen-requests-{os.getpid()}.jsonl"
             )
             os.makedirs(os.path.dirname(log_path), exist_ok=True)
-            handle = start_server_thread(
-                service=CompileService(), request_log=log_path
-            )
-            url = handle.url
-            print(f"self-hosted server at {url} (request log: {log_path})")
+            if args.fleet:
+                # a real (if miniature) fleet: three backend threads
+                # sharing one request log behind a gateway thread
+                shared_log = RequestLog(log_path)
+                backends = [
+                    start_server_thread(
+                        service=CompileService(), request_log=shared_log
+                    )
+                    for _ in range(3)
+                ]
+                handles.extend(backends)
+                gateway = start_gateway_thread(
+                    backends=[h.url for h in backends], probe_interval=0.5
+                )
+                handles.append(gateway)
+                url = gateway.url
+                print(
+                    f"self-hosted fleet: gateway {url} over "
+                    f"{[h.url for h in backends]} (request log: {log_path})"
+                )
+            else:
+                handles.append(
+                    start_server_thread(
+                        service=CompileService(), request_log=log_path
+                    )
+                )
+                url = handles[0].url
+                print(f"self-hosted server at {url} (request log: {log_path})")
 
-        prime(url, mix, args.timeout)
+        prime(url, mix, weights, args.timeout)
         threads_n = max(1, args.threads)
         interval = threads_n / max(args.rps, 0.1)
         deadline = time.monotonic() + args.duration
@@ -306,11 +400,14 @@ def main(argv=None):
         observer = RemoteCompileService(url, timeout=args.timeout)
         try:
             metrics_body = observer.metrics()
+            stats_payload = observer.stats() if args.fleet else {}
         finally:
             observer.close()
     finally:
-        if handle is not None:
+        for handle in reversed(handles):  # gateway first, then backends
             handle.stop()
+        if shared_log is not None:
+            shared_log.close()
 
     summary = recorder.summary()
     overall = summary["overall"]
@@ -331,6 +428,9 @@ def main(argv=None):
                   f"{row['p50_ms']:>8.1f} {row['p90_ms']:>8.1f} "
                   f"{row['p99_ms']:>8.1f} {row['max_ms']:>8.1f}")
         print(f"error rate: {overall['error_rate']:.2%}")
+
+    if args.fleet:
+        print_fleet_report(stats_payload)
 
     if args.smoke:
         smoke_checks(summary, metrics_body, log_path, args.p99_budget)

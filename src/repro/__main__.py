@@ -12,6 +12,10 @@ CLI section mirrors these and ``tests/test_docs.py`` parses both)::
     python -m repro serve --port 8787 --cache-dir /tmp/caqr-cache
     python -m repro serve --port 8787 --workers-mode persistent \
         --disk-entries 10000 --request-log /tmp/caqr-requests.jsonl
+    python -m repro serve --port 8787 --auth-token secret \
+        --tls-cert cert.pem --tls-key key.pem
+    python -m repro gateway --backend http://127.0.0.1:8787 \
+        --backend http://127.0.0.1:8788 --port 8786
     python -m repro sweep circuit.qasm --backend mumbai
     python -m repro benchmarks            # list bundled benchmark names
     python -m repro cache stats           # inspect the on-disk cache
@@ -251,6 +255,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         disk_entries=args.disk_entries,
         disk_bytes=args.disk_bytes,
         request_log=args.request_log,
+        auth_token=args.auth_token,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+    )
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.service import run_gateway
+
+    return run_gateway(
+        backends=args.backend,
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        mark_down_after=args.mark_down_after,
+        probe_interval=args.probe_interval,
+        pool_size=args.pool_size,
+        request_timeout=args.timeout,
+        auth_token=args.auth_token,
+        backend_token=args.backend_token,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+        backend_ca=args.backend_ca,
+        backend_tls_insecure=args.backend_tls_insecure,
     )
 
 
@@ -419,7 +447,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSON record per request to PATH ('-' for stderr; "
         "default: $CAQR_REQUEST_LOG)",
     )
+    serve_parser.add_argument(
+        "--auth-token", default=None, metavar="TOKEN",
+        help="require `Authorization: Bearer TOKEN` on every route except "
+        "/v1/health (default: $CAQR_AUTH_TOKEN)",
+    )
+    serve_parser.add_argument(
+        "--tls-cert", default=None, metavar="PEM",
+        help="serve HTTPS with this certificate chain (needs --tls-key)",
+    )
+    serve_parser.add_argument(
+        "--tls-key", default=None, metavar="PEM",
+        help="private key for --tls-cert",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    gateway_parser = sub.add_parser(
+        "gateway",
+        help="front a fleet of `repro serve` backends with consistent-hash "
+        "routing, health-driven failover, and peer cache fill",
+    )
+    gateway_parser.add_argument(
+        "--backend", action="append", required=True, metavar="URL",
+        help="backend base URL (repeat once per server)",
+    )
+    gateway_parser.add_argument("--host", default="127.0.0.1")
+    gateway_parser.add_argument(
+        "--port", type=int, default=8786, help="0 picks a free port"
+    )
+    gateway_parser.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per backend on the hash ring",
+    )
+    gateway_parser.add_argument(
+        "--mark-down-after", type=int, default=3,
+        help="consecutive failures before a backend leaves the ring",
+    )
+    gateway_parser.add_argument(
+        "--probe-interval", type=float, default=2.0, metavar="SECONDS",
+        help="health re-probe cadence (jittered deterministically)",
+    )
+    gateway_parser.add_argument(
+        "--pool-size", type=int, default=16,
+        help="keep-alive connections per backend",
+    )
+    gateway_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-proxied-request budget in seconds",
+    )
+    gateway_parser.add_argument(
+        "--auth-token", default=None, metavar="TOKEN",
+        help="require `Authorization: Bearer TOKEN` from clients "
+        "(default: $CAQR_AUTH_TOKEN)",
+    )
+    gateway_parser.add_argument(
+        "--backend-token", default=None, metavar="TOKEN",
+        help="bearer token the gateway presents to backends "
+        "(default: pass the client's Authorization header through)",
+    )
+    gateway_parser.add_argument(
+        "--tls-cert", default=None, metavar="PEM",
+        help="serve HTTPS with this certificate chain (needs --tls-key)",
+    )
+    gateway_parser.add_argument(
+        "--tls-key", default=None, metavar="PEM",
+        help="private key for --tls-cert",
+    )
+    gateway_parser.add_argument(
+        "--backend-ca", default=None, metavar="PEM",
+        help="CA bundle for verifying https:// backends",
+    )
+    gateway_parser.add_argument(
+        "--backend-tls-insecure", action="store_true",
+        help="skip certificate verification toward https:// backends",
+    )
+    gateway_parser.set_defaults(func=_cmd_gateway)
     return parser
 
 

@@ -8,8 +8,10 @@ deterministic compilation inputs are fingerprinted
 (:mod:`repro.service.service`) serves single requests, folds concurrent
 duplicates, and fans batches over a process pool.  The networked
 front-end (:mod:`repro.service.net`) shares one such service across
-processes over HTTP: :class:`CompileServer` hosts it, and
-:class:`RemoteCompileService` is the drop-in client twin.  See
+processes over HTTP: :class:`CompileServer` hosts it,
+:class:`RemoteCompileService` is the drop-in client twin, and
+:class:`GatewayServer` consistent-hashes requests across a fleet of
+servers (:mod:`repro.service.fleet`).  See
 ``docs/SERVICE.md`` for the cache-key and wire contracts and
 ``docs/ARCHITECTURE.md`` for where this layer sits.
 """
@@ -50,15 +52,20 @@ from repro.service.portfolio import (
 )
 from repro.service.reqlog import RequestLog
 from repro.service.workers import WorkerPool, resolve_workers_mode
+from repro.service.fleet import FleetState, HashRing, ring_key
 from repro.service.net import (
     CACHE_STATUSES,
     ERROR_CODES,
     WIRE_SCHEMA_VERSION,
     CompileServer,
+    GatewayHandle,
+    GatewayServer,
     RemoteCompileService,
     ServerHandle,
     WireError,
+    run_gateway,
     run_server,
+    start_gateway_thread,
     start_server_thread,
 )
 from repro.service.stats import ServiceStats
@@ -79,11 +86,18 @@ __all__ = [
     "render_prometheus",
     "RequestLog",
     "CompileServer",
+    "GatewayServer",
+    "GatewayHandle",
     "RemoteCompileService",
     "ServerHandle",
     "WireError",
     "run_server",
     "start_server_thread",
+    "run_gateway",
+    "start_gateway_thread",
+    "HashRing",
+    "FleetState",
+    "ring_key",
     "ServiceStats",
     "MemoryCache",
     "DiskCache",

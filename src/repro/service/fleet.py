@@ -1,0 +1,255 @@
+"""Consistent-hash fleet membership for the compile service.
+
+The gateway (:mod:`repro.service.net.gateway`) spreads compile traffic
+across N ``repro serve`` processes.  Everything that decides *where* a
+request goes lives here, deliberately free of any I/O so it can be
+tested with a fake clock and reused by smoke scripts to predict
+placement from outside the gateway process:
+
+* :class:`HashRing` — a sha256 consistent-hash ring with virtual nodes.
+  Same members in, same owner out, regardless of insertion order; adding
+  or removing one member moves ~1/N of the keyspace and nothing else.
+* :func:`ring_key` — the placement key. Requests carrying a backend
+  calibration route by their 16-hex shard digest
+  (:meth:`repro.service.service.CompileRequest.shard`) so one
+  calibration's entries colocate on one server (its DiskCache shard
+  directory stays hot). Backend-less requests all share
+  :data:`~repro.service.cache.DEFAULT_SHARD`, which would pin them to a
+  single server — those route by full fingerprint instead.
+* :class:`FleetState` — the mark-down / re-probe membership machine.
+  ``record_failure`` marks a backend down after ``mark_down_after``
+  consecutive health failures; downed backends get re-probed on a
+  jittered interval (deterministic jitter: seeded PRNG) and rejoin on
+  the first success. Topology changes rebuild the ring and count how
+  many tracked keys re-homed (``ring_moves``).
+
+The ring hashes with sha256 rather than :func:`hash` because placement
+must agree across processes (``PYTHONHASHSEED`` randomizes ``hash``)
+and across runs — the smoke test computes owners out-of-process.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ServiceError
+from repro.service.cache import DEFAULT_SHARD
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "ring_key",
+    "MemberHealth",
+    "FleetState",
+]
+
+DEFAULT_VNODES = 64
+
+
+def _point(token: str) -> int:
+    """Position of ``token`` on the ring: first 64 bits of sha256."""
+    return int(hashlib.sha256(token.encode("utf-8")).hexdigest()[:16], 16)
+
+
+def ring_key(shard: str, fingerprint: str) -> str:
+    """The consistent-hash key for one compile request.
+
+    Calibration-backed requests route by shard digest so a calibration's
+    cache entries colocate; backend-less requests (all sharing
+    ``DEFAULT_SHARD``) spread by fingerprint instead of piling onto one
+    member.
+    """
+    return shard if shard != DEFAULT_SHARD else fingerprint
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    ``members`` is any iterable of opaque member names (the gateway uses
+    backend base URLs). Each member contributes ``vnodes`` points at
+    ``sha256(f"{member}#{i}")``; a key owned by the first point at or
+    after ``sha256(key)`` (wrapping). Construction is a pure function of
+    the member *set* — order does not matter.
+    """
+
+    def __init__(self, members: Iterable[str], vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.members: Tuple[str, ...] = tuple(sorted(set(members)))
+        points: List[Tuple[int, str]] = []
+        for member in self.members:
+            for index in range(vnodes):
+                points.append((_point(f"{member}#{index}"), member))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def owner(self, key: str) -> Optional[str]:
+        """The member owning ``key``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._hashes, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def replicas(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Distinct members in ring order starting at ``key``'s owner.
+
+        The first entry is :meth:`owner`; the rest are the fallback
+        order the gateway walks when the owner is unreachable. ``count``
+        caps the list (default: every member).
+        """
+        if not self._points:
+            return []
+        want = len(self.members) if count is None else min(count, len(self.members))
+        found: List[str] = []
+        start = bisect.bisect_right(self._hashes, _point(key))
+        for offset in range(len(self._points)):
+            member = self._points[(start + offset) % len(self._points)][1]
+            if member not in found:
+                found.append(member)
+                if len(found) == want:
+                    break
+        return found
+
+
+@dataclass
+class MemberHealth:
+    """Mutable health record for one fleet member."""
+
+    name: str
+    up: bool = True
+    consecutive_failures: int = 0
+    next_probe: float = 0.0
+    marked_down: int = 0  # lifetime mark-down transitions
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "up": self.up,
+            "consecutive_failures": self.consecutive_failures,
+            "marked_down": self.marked_down,
+        }
+
+
+@dataclass
+class FleetState:
+    """Sans-I/O membership state machine for a fixed member roster.
+
+    The roster never changes; members flip between *up* and *down*.
+    Callers feed in probe outcomes (``record_success`` /
+    ``record_failure``) with an explicit ``now`` timestamp and ask
+    ``due(now)`` which members want a health probe. Both record methods
+    return ``True`` when the up-set changed, at which point the caller
+    should rebuild routing state via :meth:`ring`.
+
+    Jitter on the re-probe schedule is deterministic (seeded PRNG keyed
+    by ``seed``) so tests replay exactly.
+    """
+
+    members: Sequence[str]
+    vnodes: int = DEFAULT_VNODES
+    mark_down_after: int = 3
+    probe_interval: float = 2.0
+    probe_jitter: float = 0.5
+    seed: int = 2023
+    health: Dict[str, MemberHealth] = field(init=False)
+    ring_moves: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        names = tuple(sorted(set(self.members)))
+        if not names:
+            raise ValueError("fleet needs at least one member")
+        if self.mark_down_after < 1:
+            raise ValueError("mark_down_after must be >= 1")
+        self.members = names
+        self.health = {name: MemberHealth(name) for name in names}
+        self._rng = random.Random(self.seed)
+        self._ring = HashRing(names, vnodes=self.vnodes)
+
+    # -- membership -------------------------------------------------
+
+    def up_members(self) -> Tuple[str, ...]:
+        return tuple(n for n in self.members if self.health[n].up)
+
+    def ring(self) -> HashRing:
+        """The ring over currently-up members (empty ring if none)."""
+        return self._ring
+
+    def _member(self, name: str) -> MemberHealth:
+        try:
+            return self.health[name]
+        except KeyError:
+            raise ServiceError(f"unknown fleet member {name!r}") from None
+
+    def record_success(self, name: str, now: float) -> bool:
+        """A health probe (or proxied request) to ``name`` succeeded."""
+        member = self._member(name)
+        member.consecutive_failures = 0
+        member.next_probe = now + self._jittered(self.probe_interval)
+        if not member.up:
+            member.up = True
+            self._rebuild()
+            return True
+        return False
+
+    def record_failure(self, name: str, now: float) -> bool:
+        """A probe/request to ``name`` failed; maybe mark it down."""
+        member = self._member(name)
+        member.consecutive_failures += 1
+        member.next_probe = now + self._jittered(self.probe_interval)
+        if member.up and member.consecutive_failures >= self.mark_down_after:
+            member.up = False
+            member.marked_down += 1
+            self._rebuild()
+            return True
+        return False
+
+    def due(self, now: float) -> List[str]:
+        """Members whose next health probe is due at ``now``."""
+        return [n for n in self.members if self.health[n].next_probe <= now]
+
+    # -- introspection ---------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "members": [self.health[n].summary() for n in self.members],
+            "up": list(self.up_members()),
+            "ring_moves": self.ring_moves,
+            "vnodes": self.vnodes,
+        }
+
+    # -- internals --------------------------------------------------
+
+    def _jittered(self, base: float) -> float:
+        if self.probe_jitter <= 0:
+            return base
+        return base * (1.0 + self._rng.uniform(-self.probe_jitter, self.probe_jitter))
+
+    def _rebuild(self) -> None:
+        """Rebuild the ring after an up-set change, counting key moves.
+
+        The move count samples the keyspace with a fixed probe set
+        (cheap, deterministic) rather than tracking live keys — it is a
+        telemetry gauge, not a correctness input.
+        """
+        old = self._ring
+        self._ring = HashRing(self.up_members(), vnodes=self.vnodes)
+        moved = sum(
+            1
+            for i in range(_MOVE_PROBES)
+            if old.owner(f"probe-{i}") != self._ring.owner(f"probe-{i}")
+        )
+        self.ring_moves += moved
+
+
+_MOVE_PROBES = 64

@@ -148,6 +148,18 @@ _FAMILY_LABELS = {
     "portfolio_errors": "strategy",
     "shard_entries": "shard",
     "shard_bytes": "shard",
+    # gateway fleet families (repro.service.net.gateway): one series per
+    # backend base URL
+    "backend_requests": "backend",
+    "backend_errors": "backend",
+    "backend_retries": "backend",
+    "backend_latency": "backend",
+    "backend_up": "backend",
+    "marked_down": "backend",
+    "peer_fills": "backend",
+    "fleet_requests": "backend",
+    "fleet_hits": "backend",
+    "fleet_misses": "backend",
 }
 
 _NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")

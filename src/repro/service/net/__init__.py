@@ -1,20 +1,34 @@
 """Networked front-end for the compile service.
 
-Three modules, strictly layered:
+Five modules, strictly layered:
 
 * :mod:`repro.service.net.wire` — schema-versioned JSON envelopes and
   typed error codes (shared vocabulary; imports neither peer);
+* :mod:`repro.service.net.http1` — minimal HTTP/1.1 framing shared by
+  everything asyncio-side (head parsing, response formatting, pooled
+  request/response round-trips);
 * :mod:`repro.service.net.server` — stdlib asyncio HTTP/1.1 server
   fronting one :class:`~repro.service.service.CompileService`;
 * :mod:`repro.service.net.client` — blocking ``http.client`` client
-  exposing the same compile surface as the local service.
+  exposing the same compile surface as the local service;
+* :mod:`repro.service.net.gateway` — consistent-hash fleet gateway
+  routing the wire protocol across N servers with health-driven
+  membership, retry-on-next-replica, and peer cache fill.
 
 ``caqr_compile(cache="http://host:port")`` resolves to a
-:class:`RemoteCompileService` automatically; ``repro serve`` runs the
-server from the command line.
+:class:`RemoteCompileService` automatically (``https://`` works too);
+``repro serve`` runs the server and ``repro gateway`` the fleet
+front-end from the command line.
 """
 
 from repro.service.net.client import RETRYABLE_CODES, RemoteCompileService
+from repro.service.net.gateway import (
+    DEFAULT_GATEWAY_PORT,
+    GatewayHandle,
+    GatewayServer,
+    run_gateway,
+    start_gateway_thread,
+)
 from repro.service.net.server import (
     DEFAULT_PORT,
     CompileServer,
@@ -42,13 +56,18 @@ __all__ = [
     "CACHE_STATUSES",
     "ERROR_CODES",
     "DEFAULT_PORT",
+    "DEFAULT_GATEWAY_PORT",
     "WireError",
     "CompileServer",
     "ServerHandle",
+    "GatewayServer",
+    "GatewayHandle",
     "RemoteCompileService",
     "RETRYABLE_CODES",
     "run_server",
     "start_server_thread",
+    "run_gateway",
+    "start_gateway_thread",
     "graph_to_dict",
     "graph_from_dict",
     "request_to_wire",

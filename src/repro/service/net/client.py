@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import random
+import ssl
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import urlsplit
@@ -59,7 +61,9 @@ __all__ = ["RemoteCompileService", "RETRYABLE_CODES"]
 #: failures, admission-control rejections, drain refusals) or died in a
 #: way a fresh attempt may dodge (``internal``).  ``timeout`` is absent
 #: on purpose — the server owns a still-running compile for that key.
-RETRYABLE_CODES = frozenset({"connect_error", "overloaded", "shutting_down", "internal"})
+RETRYABLE_CODES = frozenset(
+    {"connect_error", "overloaded", "shutting_down", "internal", "no_backend"}
+)
 
 _CONNECT_ERRORS = (
     ConnectionError,
@@ -84,6 +88,14 @@ class RemoteCompileService:
         backoff: base delay in seconds; attempt *n* sleeps
             ``min(max_backoff, backoff * 2**n)`` scaled by 0.5–1.0 jitter
             so a herd of clients does not re-arrive in lockstep.
+        token: bearer token sent as ``Authorization: Bearer <token>``
+            on every request (a server started with ``--auth-token``
+            rejects anything else with ``401 unauthorized``).  ``None``
+            honours ``$CAQR_AUTH_TOKEN``.
+        tls_ca: CA bundle (PEM path) to verify an ``https://`` server
+            against — the knob for self-signed fleet certificates.
+        tls_insecure: skip certificate verification entirely (tests and
+            lab setups only).
     """
 
     def __init__(
@@ -93,22 +105,37 @@ class RemoteCompileService:
         retries: int = 3,
         backoff: float = 0.2,
         max_backoff: float = 5.0,
+        token: Optional[str] = None,
+        tls_ca: Optional[str] = None,
+        tls_insecure: bool = False,
     ):
         parts = urlsplit(url if "//" in url else f"http://{url}")
-        if parts.scheme not in ("http", ""):
+        if parts.scheme not in ("http", "https", ""):
             raise RemoteServiceError(
-                f"unsupported scheme {parts.scheme!r} (stdlib client speaks http)",
+                f"unsupported scheme {parts.scheme!r} "
+                "(stdlib client speaks http/https)",
                 code="bad_request",
             )
         if not parts.hostname:
             raise RemoteServiceError(f"no host in url {url!r}", code="bad_request")
+        self.scheme = parts.scheme or "http"
         self.host = parts.hostname
-        self.port = parts.port or 80
-        self.url = f"http://{self.host}:{self.port}"
+        self.port = parts.port or (443 if self.scheme == "https" else 80)
+        self.url = f"{self.scheme}://{self.host}:{self.port}"
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        self.token = (
+            token if token is not None else os.environ.get("CAQR_AUTH_TOKEN") or None
+        )
+        self._ssl_context: Optional[ssl.SSLContext] = None
+        if self.scheme == "https":
+            context = ssl.create_default_context(cafile=tls_ca)
+            if tls_insecure:
+                context.check_hostname = False
+                context.verify_mode = ssl.CERT_NONE
+            self._ssl_context = context
         self._local = threading.local()
         self._rng = random.Random(0x5EED)
         self._rng_lock = threading.Lock()
@@ -118,9 +145,17 @@ class RemoteCompileService:
     def _connection(self) -> http.client.HTTPConnection:
         conn = getattr(self._local, "conn", None)
         if conn is None:
-            conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
+            if self.scheme == "https":
+                conn = http.client.HTTPSConnection(
+                    self.host,
+                    self.port,
+                    timeout=self.timeout,
+                    context=self._ssl_context,
+                )
+            else:
+                conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
             self._local.conn = conn
         return conn
 
@@ -155,6 +190,8 @@ class RemoteCompileService:
         """One request/response on this thread's connection."""
         conn = self._connection()
         headers = {"Content-Type": "application/json", "Connection": "keep-alive"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
         conn.request(method, path, body=body, headers=headers)
         response = conn.getresponse()
         raw = response.read()

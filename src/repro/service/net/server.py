@@ -25,7 +25,16 @@ Endpoints
 ``POST /v1/compile_batch``   ``{"requests": [...], "parallel": bool}`` -> results
                              in input order (duplicates folded server-side)
 ``POST /v1/cache/invalidate``  ``{"fingerprint": ...}`` or ``{"all": true}``
+``POST /v1/cache/fill``      replay a peer server's encoded response envelope
+                             into this server's cache (gateway peer fill)
 ===========================  ======================================================
+
+A ``/v1/compile`` carrying the ``X-CaQR-Cache-Only: 1`` header answers
+from the cache only (``404 cache_miss`` instead of compiling) — the
+gateway's peer-fill probe.  With an ``auth_token`` (or
+``$CAQR_AUTH_TOKEN``) every route except ``GET /v1/health`` requires
+``Authorization: Bearer <token>`` (``401 unauthorized`` otherwise), and
+``tls_cert``/``tls_key`` wrap the listener in stdlib TLS.
 
 Operational behaviour:
 
@@ -64,6 +73,7 @@ import asyncio
 import json
 import os
 import signal
+import ssl
 import threading
 import time
 from collections import OrderedDict
@@ -72,19 +82,27 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.exceptions import ReproError, ServiceError
 from repro.service.metrics import render_prometheus
+from repro.service.net.http1 import (
+    MAX_HEADER_BYTES as _MAX_HEADER_BYTES,
+    REASONS as _REASONS,
+    parse_head,
+)
 from repro.service.net.wire import (
     WIRE_SCHEMA_VERSION,
     WireError,
     error_to_wire,
     request_from_wire,
+    response_from_wire,
     response_to_wire,
 )
 from repro.service.reqlog import RequestLog
+from repro.service.serialization import dumps_entry
 from repro.service.service import CompileService
 from repro.service.stats import ServiceStats
 
 __all__ = [
     "DEFAULT_PORT",
+    "CACHE_ONLY_HEADER",
     "CompileServer",
     "ServerHandle",
     "start_server_thread",
@@ -97,7 +115,6 @@ DEFAULT_MAX_CONCURRENCY = 32
 DEFAULT_REQUEST_TIMEOUT = 600.0
 DEFAULT_DRAIN_TIMEOUT = 30.0
 DEFAULT_ENVELOPE_ENTRIES = 1024
-_MAX_HEADER_BYTES = 64 * 1024
 _KEEPALIVE_TIMEOUT = 75.0
 _PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -110,20 +127,24 @@ _ROUTES = (
     "/v1/compile",
     "/v1/compile_batch",
     "/v1/cache/invalidate",
+    "/v1/cache/fill",
 )
 
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    422: "Unprocessable Entity",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
+#: Gateway peer-fill probe: a ``/v1/compile`` carrying this header must
+#: answer from the cache only — a warm envelope or ``404 cache_miss`` —
+#: and never start a compile.
+CACHE_ONLY_HEADER = "x-caqr-cache-only"
+
+#: ``CompileReport`` fields whose engine stats are folded into their own
+#: Prometheus prefix (``caqr_route_*``, ``caqr_sim_*``,
+#: ``caqr_reuse_eval_*``) when a server-side cold compile carries them.
+#: getattr-based: a report field that does not exist yet simply stays
+#: dark until a later schema adds it.
+_REPORT_STAT_DOMAINS = (
+    ("route", "route_stats"),
+    ("sim", "sim_stats"),
+    ("reuse_eval", "eval_stats"),
+)
 
 # dispatch result: (status, JSON payload or pre-encoded body bytes, extra headers)
 _Reply = Tuple[int, Union[Dict[str, Any], bytes], Dict[str, str]]
@@ -193,6 +214,13 @@ class CompileServer:
             existing :class:`~repro.service.reqlog.RequestLog`, or
             ``None`` to honour ``$CAQR_REQUEST_LOG`` (no logging when
             that is unset too).
+        auth_token: bearer token every request except ``GET /v1/health``
+            must carry (``Authorization: Bearer <token>``); wrong or
+            missing -> ``401 unauthorized``.  ``None`` honours
+            ``$CAQR_AUTH_TOKEN``; empty/unset means no auth.
+        tls_cert / tls_key: PEM certificate chain + private key; when
+            set the listener speaks TLS (stdlib ``ssl``) and the
+            handle's URL scheme is ``https``.
     """
 
     def __init__(
@@ -207,6 +235,9 @@ class CompileServer:
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
         envelope_cache_entries: int = DEFAULT_ENVELOPE_ENTRIES,
         request_log: Union[None, str, RequestLog] = None,
+        auth_token: Optional[str] = None,
+        tls_cert: Optional[str] = None,
+        tls_key: Optional[str] = None,
     ):
         if max_concurrency < 1:
             raise ServiceError("server needs max_concurrency >= 1")
@@ -214,6 +245,15 @@ class CompileServer:
             raise ServiceError("server needs max_body >= 1")
         if envelope_cache_entries < 0:
             raise ServiceError("server needs envelope_cache_entries >= 0")
+        if bool(tls_cert) != bool(tls_key):
+            raise ServiceError("TLS needs both tls_cert and tls_key")
+        self.auth_token = (
+            auth_token
+            if auth_token is not None
+            else os.environ.get("CAQR_AUTH_TOKEN") or None
+        )
+        self.tls_cert = tls_cert
+        self.tls_key = tls_key
         self.service = service if service is not None else CompileService()
         self.stats = self.service.stats
         self.host = host
@@ -247,6 +287,12 @@ class CompileServer:
         self._active_compiles = 0
         self._draining = False
         self._started_monotonic: Optional[float] = None
+        self._domain_stats: Dict[str, ServiceStats] = {}
+        self._domain_lock = threading.Lock()
+
+    @property
+    def scheme(self) -> str:
+        return "https" if self.tls_cert else "http"
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -259,8 +305,16 @@ class CompileServer:
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="caqr-compile"
         )
+        sslctx = None
+        if self.tls_cert:
+            sslctx = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+            sslctx.load_cert_chain(self.tls_cert, self.tls_key)
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port, limit=_MAX_HEADER_BYTES
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=_MAX_HEADER_BYTES,
+            ssl=sslctx,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_monotonic = time.monotonic()
@@ -388,7 +442,9 @@ class CompileServer:
                         body = await reader.readexactly(content_length)
                     except (asyncio.IncompleteReadError, ConnectionError):
                         break
-                status, payload, extra = await self._dispatch(method, path, body)
+                status, payload, extra = await self._dispatch(
+                    method, path, headers, body
+                )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                     and not self._draining
@@ -407,24 +463,8 @@ class CompileServer:
             except Exception:
                 pass
 
-    @staticmethod
-    def _parse_head(blob: bytes) -> Optional[Tuple[str, str, Dict[str, str]]]:
-        try:
-            request_line, *header_lines = blob.decode("latin-1").split("\r\n")
-            method, target, version = request_line.split(" ", 2)
-        except ValueError:
-            return None
-        if not version.startswith("HTTP/1."):
-            return None
-        headers: Dict[str, str] = {}
-        for line in header_lines:
-            if not line:
-                continue
-            name, sep, value = line.partition(":")
-            if not sep:
-                return None
-            headers[name.strip().lower()] = value.strip()
-        return method.upper(), target.split("?", 1)[0], headers
+    # shared with the gateway (repro.service.net.http1)
+    _parse_head = staticmethod(parse_head)
 
     async def _write(
         self,
@@ -459,14 +499,16 @@ class CompileServer:
 
     # -- routing ---------------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> _Reply:
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> _Reply:
         start = time.perf_counter()
         self._inflight += 1
         self._idle_event.clear()
         self.stats.count("http_requests")
         self.stats.count(f"http:{path}")
         try:
-            reply = await self._route(method, path, body)
+            reply = await self._route(method, path, headers, body)
         except WireError as exc:
             self.stats.count("http_errors")
             reply = 400, error_to_wire("bad_request", str(exc)), {}
@@ -513,8 +555,12 @@ class CompileServer:
             error=error,
         )
 
-    async def _route(self, method: str, path: str, body: bytes) -> _Reply:
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> _Reply:
         if path == "/v1/health":
+            # auth-exempt: load balancers and the gateway's membership
+            # prober must see liveness without holding credentials
             if method != "GET":
                 return self._method_not_allowed(method, path)
             return (
@@ -528,6 +574,17 @@ class CompileServer:
                 },
                 {},
             )
+        if self.auth_token is not None:
+            supplied = headers.get("authorization", "")
+            if supplied != f"Bearer {self.auth_token}":
+                self.stats.count("http_unauthorized")
+                return (
+                    401,
+                    error_to_wire(
+                        "unauthorized", "missing or invalid bearer token"
+                    ),
+                    {},
+                )
         if path == "/v1/metrics":
             # answered mid-drain too: scrapes must survive a rollout
             if method != "GET":
@@ -551,7 +608,8 @@ class CompileServer:
         if path == "/v1/compile":
             if method != "POST":
                 return self._method_not_allowed(method, path)
-            return await self._handle_compile(body)
+            cache_only = headers.get(CACHE_ONLY_HEADER, "") not in ("", "0")
+            return await self._handle_compile(body, cache_only=cache_only)
         if path == "/v1/compile_batch":
             if method != "POST":
                 return self._method_not_allowed(method, path)
@@ -560,6 +618,10 @@ class CompileServer:
             if method != "POST":
                 return self._method_not_allowed(method, path)
             return self._handle_invalidate(body)
+        if path == "/v1/cache/fill":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            return await self._handle_fill(body)
         return 404, error_to_wire("not_found", f"no route {method} {path}"), {}
 
     @staticmethod
@@ -603,7 +665,23 @@ class CompileServer:
         }
         if self._envelope is not None:
             extra["envelope_entries"] = float(len(self._envelope))
-        return render_prometheus(snapshot, extra_gauges=extra).encode()
+        body = render_prometheus(snapshot, extra_gauges=extra)
+        # engine stats carried by server-side cold compiles, one prefix
+        # per domain (caqr_route_*, caqr_sim_*, caqr_reuse_eval_*)
+        with self._domain_lock:
+            domains = {
+                domain: self._snapshot_domain(sink)
+                for domain, sink in self._domain_stats.items()
+            }
+        for domain in sorted(domains):
+            body += render_prometheus(domains[domain], prefix=f"caqr_{domain}")
+        return body.encode()
+
+    @staticmethod
+    def _snapshot_domain(sink: ServiceStats) -> ServiceStats:
+        copy = ServiceStats()
+        copy.merge(sink)
+        return copy
 
     @staticmethod
     def _json_body(body: bytes) -> Any:
@@ -614,8 +692,32 @@ class CompileServer:
 
     # -- compile endpoints -----------------------------------------------------
 
-    async def _handle_compile(self, body: bytes) -> _Reply:
+    async def _handle_compile(self, body: bytes, cache_only: bool = False) -> _Reply:
         request = request_from_wire(self._json_body(body))
+        if cache_only:
+            # gateway peer-fill probe: warm envelope or 404, never a
+            # compile (and never an admission slot — this is a lookup)
+            outcome, reply = await self._offload(self._cache_only_encoded, request)
+            if outcome is None:
+                return reply
+            encoded, key = outcome
+            if encoded is None:
+                self.stats.count("cache_only_misses")
+                return (
+                    404,
+                    error_to_wire("cache_miss", f"no cached entry for {key}"),
+                    {"X-CaQR-Fingerprint": key},
+                )
+            self.stats.count("cache_only_hits")
+            return (
+                200,
+                encoded,
+                {
+                    "X-CaQR-Fingerprint": key,
+                    "X-CaQR-Cache": "hit",
+                    "X-CaQR-Strategy": request.strategy,
+                },
+            )
         admitted, reply = self._admit()
         if not admitted:
             return reply
@@ -632,6 +734,28 @@ class CompileServer:
             "X-CaQR-Strategy": request.strategy,
         }
         return 200, encoded, headers
+
+    def _cache_only_encoded(self, request) -> Tuple[Optional[bytes], str]:
+        """Worker-thread cache probe: ``(encoded hit body | None, key)``."""
+        with self.stats.timed("fingerprint"):
+            key = request.fingerprint()
+        shard = request.shard()
+        envelope = self._envelope
+        if envelope is not None:
+            body = envelope.get(key)
+            if body is not None:
+                if self.service.cache.get(key, shard) is not None:
+                    return body, key
+                envelope.invalidate(key)
+        entry = self.service._lookup_entry(key, shard)
+        if entry is None:
+            return None, key
+        _, report = entry
+        with self.stats.timed("serialize"):
+            body = json.dumps(response_to_wire(key, "hit", report)).encode()
+        if envelope is not None:
+            envelope.put(key, body)
+        return body, key
 
     def _compile_encoded(self, request) -> Tuple[bytes, str, str]:
         """Worker-thread compile returning the encoded response body.
@@ -660,6 +784,8 @@ class CompileServer:
         report, key, status = self.service.compile_classified(
             request, fingerprint=key
         )
+        if status == "miss":
+            self._absorb_report_stats(report)
         with self.stats.timed("serialize"):
             body = json.dumps(response_to_wire(key, status, report)).encode()
         if envelope is not None and status == "hit":
@@ -696,6 +822,8 @@ class CompileServer:
         results = []
         for request, report in zip(requests, outcome):
             status = "hit" if report.from_cache else "miss"
+            if status == "miss":
+                self._absorb_report_stats(report)
             results.append(
                 response_to_wire(request.fingerprint(), status, report)
             )
@@ -743,6 +871,68 @@ class CompileServer:
             # deterministic compiler rejection (e.g. infeasible budget)
             return None, (422, error_to_wire("compile_error", str(exc)), {})
 
+    async def _handle_fill(self, body: bytes) -> _Reply:
+        """``POST /v1/cache/fill``: replay a peer's encoded envelope.
+
+        The gateway calls this after a peer-fill so the entry's *new*
+        ring owner holds it warm without ever compiling.  The payload is
+        ``{"schema", "shard", "envelope": <response envelope>}`` — the
+        envelope is validated through the normal response codec, so a
+        corrupt peer body is a ``bad_request``, never a poisoned cache.
+        """
+        payload = self._json_body(body)
+        if not isinstance(payload, dict):
+            raise WireError("fill envelope must be a JSON object")
+        if payload.get("schema") != WIRE_SCHEMA_VERSION:
+            raise WireError(f"unsupported wire schema {payload.get('schema')!r}")
+        shard = payload.get("shard")
+        if not isinstance(shard, str) or not shard:
+            raise WireError("fill envelope needs the entry's shard")
+        report, fingerprint, _ = response_from_wire(payload.get("envelope"))
+        outcome, reply = await self._offload(
+            self._store_fill, fingerprint, shard, report, payload["envelope"]
+        )
+        if outcome is None:
+            return reply
+        return (
+            200,
+            {"schema": WIRE_SCHEMA_VERSION, "fingerprint": fingerprint, "filled": True},
+            {"X-CaQR-Fingerprint": fingerprint},
+        )
+
+    def _store_fill(self, fingerprint, shard, report, envelope) -> bool:
+        with self.stats.timed("serialize"):
+            text = dumps_entry(fingerprint, report)
+        with self.stats.timed("store"):
+            self.service.cache.put(fingerprint, text, shard)
+        if self._envelope is not None:
+            # the peer served a hit envelope: exactly what the warm fast
+            # path must replay for the next repeat of this fingerprint
+            hit_envelope = dict(envelope)
+            hit_envelope["cache_status"] = "hit"
+            self._envelope.put(
+                fingerprint, json.dumps(hit_envelope).encode()
+            )
+        self.stats.count("cache_fills")
+        return True
+
+    def _absorb_report_stats(self, report) -> None:
+        """Fold a cold compile's engine stats into the metrics export."""
+        for domain, attr in _REPORT_STAT_DOMAINS:
+            source = getattr(report, attr, None)
+            if source is None:
+                continue
+            with self._domain_lock:
+                sink = self._domain_stats.get(domain)
+                if sink is None:
+                    sink = self._domain_stats[domain] = ServiceStats()
+                for name, value in getattr(source, "counters", {}).items():
+                    sink.count(name, value)
+                for name, value in getattr(source, "timers", {}).items():
+                    sink.add_time(name, value)
+                for name, value in getattr(source, "values", {}).items():
+                    sink.add_value(name, value)
+
     def _handle_invalidate(self, body: bytes) -> _Reply:
         payload = self._json_body(body)
         if not isinstance(payload, dict):
@@ -779,7 +969,7 @@ class ServerHandle:
 
     @property
     def url(self) -> str:
-        return f"http://{self.server.host}:{self.server.port}"
+        return f"{self.server.scheme}://{self.server.host}:{self.server.port}"
 
     def stop(self, timeout: float = 30.0) -> None:
         """Drain the server and join its thread."""
@@ -835,6 +1025,9 @@ def run_server(
     disk_entries: Optional[int] = None,
     disk_bytes: Optional[int] = None,
     request_log: Optional[str] = None,
+    auth_token: Optional[str] = None,
+    tls_cert: Optional[str] = None,
+    tls_key: Optional[str] = None,
 ) -> int:
     """Blocking entry point behind ``repro serve``.
 
@@ -870,6 +1063,9 @@ def run_server(
         request_timeout=request_timeout,
         drain_timeout=drain_timeout,
         request_log=request_log,
+        auth_token=auth_token,
+        tls_cert=tls_cert,
+        tls_key=tls_key,
     )
 
     async def _main() -> None:

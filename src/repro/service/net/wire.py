@@ -74,7 +74,12 @@ CACHE_STATUSES = ("hit", "miss", "inflight")
 #: ``unsupported_schema`` / ``payload_too_large`` / ``not_found`` /
 #: ``method_not_allowed`` — resending the same bytes cannot succeed;
 #: ``compile_error`` — the compiler itself rejected the request
-#: (deterministic, e.g. an infeasible qubit budget).
+#: (deterministic, e.g. an infeasible qubit budget); ``unauthorized`` —
+#: the bearer token is missing or wrong (fix credentials, not retries).
+#: Fleet-specific: ``cache_miss`` — a cache-only probe
+#: (``X-CaQR-Cache-Only``) found nothing, the gateway falls back to a
+#: real compile; ``no_backend`` — the gateway has every backend marked
+#: down (retryable: a re-probe may bring one back).
 ERROR_CODES = frozenset(
     {
         "bad_request",
@@ -88,6 +93,9 @@ ERROR_CODES = frozenset(
         "shutting_down",
         "internal",
         "connect_error",
+        "unauthorized",
+        "cache_miss",
+        "no_backend",
     }
 )
 

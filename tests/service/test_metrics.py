@@ -404,6 +404,37 @@ class TestMetricsEndpoint:
         _, _, status = client.compile_classified(request)
         assert status == "miss"
 
+    def test_cold_compile_surfaces_engine_stats(self, client):
+        from repro.hardware import generic_backend, line
+
+        # min_swap runs the SR router, whose RouteStats ride the report;
+        # the server folds them into their own caqr_route_* prefix
+        request = CompileRequest(
+            target=bv_circuit(5),
+            backend=generic_backend(line(7), seed=7),
+            mode="min_swap",
+        )
+        client.compile_request(request)
+        types, samples = parse_prometheus(client.metrics())
+        route_counters = [
+            name
+            for name, _, _ in samples
+            if name.startswith("caqr_route_") and name.endswith("_total")
+        ]
+        assert route_counters, "route stats never reached /v1/metrics"
+        assert sample_value(samples, "caqr_route_slack_recomputes_total") > 0
+        assert (
+            types["caqr_route_time_sr_run_seconds_total"] == "counter"
+        ), "route timers must render with the standard timer naming"
+        # a warm repeat must not double-count the engine stats
+        before = sample_value(samples, "caqr_route_slack_recomputes_total")
+        client.compile_request(request)
+        _, warm_samples = parse_prometheus(client.metrics())
+        assert (
+            sample_value(warm_samples, "caqr_route_slack_recomputes_total")
+            == before
+        )
+
     def test_request_log_lines_are_schema_complete(self, logged_server, client):
         request = CompileRequest(target=bv_circuit(4))
         client.compile_classified(request)
