@@ -1,0 +1,106 @@
+"""Drift-banded fingerprints: hit-rate uplift with zero decision changes.
+
+The banding claim (ISSUE 9 / docs/BACKENDS.md): quantising calibration
+values into coarse log-scale bands before digesting keeps the compile
+cache warm across day-to-day calibration drift *without ever changing a
+compile decision* — a banded warm hit always equals a fresh compile of
+the drifted snapshot.  This bench replays longer drift series than the
+CI smoke (24 steps, two workloads, both the structural ``min_depth``
+mode and the noise-aware ``min_swap`` mode) and asserts:
+
+- Laplace-smoothed hit uplift >= 5x over exact digests on every row;
+- zero decision changes on every row;
+- zero ESP decay from serving band-stale plans.
+
+Horizons differ by mode, matching the guarantee docs/SERVICE.md states:
+structural modes (``min_depth``) make calibration-free decisions, so
+the zero-change gate holds at any horizon (24 steps here); the
+noise-aware ``min_swap`` placement re-reads error rates on every fresh
+compile, so its gate holds within the validated drift envelope (12
+steps at 1 % volatility — beyond that, accumulated *in-band* drift can
+legitimately flip close placement calls, which the ESP-decay column
+would then quantify).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_drift_replay.py``.
+"""
+
+from conftest import emit, once
+
+from repro.analysis import format_table
+from repro.hardware import get_device
+from repro.service.driftreplay import replay_drift
+from repro.workloads import bv_circuit
+
+MIN_UPLIFT = 5.0
+LONG_STEPS = 24  # structural modes: decision gate holds at any horizon
+ENVELOPE_STEPS = 12  # noise-aware mode: the validated drift envelope
+VOLATILITY = 0.01
+BANDS = 2
+DRIFT_SEED = 7
+
+RUNS = [
+    ("bv5/mumbai", lambda: bv_circuit(5), "ibm_mumbai", "min_depth", LONG_STEPS),
+    ("bv5/mumbai", lambda: bv_circuit(5), "ibm_mumbai", "min_swap", ENVELOPE_STEPS),
+    ("bv8/grid36", lambda: bv_circuit(8), "grid36", "min_depth", LONG_STEPS),
+]
+
+
+def _measure():
+    rows = []
+    for name, build, device, mode, steps in RUNS:
+        result = replay_drift(
+            build(),
+            get_device(device),
+            steps=steps,
+            volatility=VOLATILITY,
+            calib_bands=BANDS,
+            seed=DRIFT_SEED,
+            mode=mode,
+        )
+        rows.append((name, mode, result))
+    return rows
+
+
+def test_drift_replay_uplift(benchmark):
+    rows = once(benchmark, _measure)
+    table = format_table(
+        [
+            "workload",
+            "mode",
+            "steps",
+            "banded",
+            "exact",
+            "uplift",
+            "changes",
+            "shards b/e",
+            "esp gap max",
+        ],
+        [
+            [
+                name,
+                mode,
+                r.steps,
+                f"{r.banded_hits}/{r.banded_hits + r.banded_misses}",
+                f"{r.exact_hits}/{r.exact_hits + r.exact_misses}",
+                f"{r.hit_uplift:.1f}x",
+                r.decision_changes,
+                f"{r.banded_shards}/{r.exact_shards}",
+                f"{r.max_esp_gap:.3g}",
+            ]
+            for name, mode, r in rows
+        ],
+    )
+    emit("drift_replay", table)
+    for name, mode, result in rows:
+        assert result.hit_uplift >= MIN_UPLIFT, (
+            f"{name} [{mode}]: banded uplift only {result.hit_uplift:.1f}x "
+            f"(need >= {MIN_UPLIFT}x)"
+        )
+        assert result.decision_changes == 0, (
+            f"{name} [{mode}]: banding changed {result.decision_changes} "
+            f"compile decisions (must be 0)"
+        )
+        assert result.max_esp_gap == 0.0, (
+            f"{name} [{mode}]: band-stale plans decayed ESP by "
+            f"{result.max_esp_gap:.3g}"
+        )

@@ -7,8 +7,12 @@ CLI section mirrors these and ``tests/test_docs.py`` parses both)::
     python -m repro compile circuit.qasm --mode min_swap --backend mumbai \
         --output compiled.qasm --draw
     python -m repro compile bv_20 --cache          # content-addressed cache
+    python -m repro compile bv_20 --cache --calib-bands 2   # drift-banded key
     python -m repro compile bv_20 --server http://127.0.0.1:8787
     python -m repro compile bv_5 --strategy portfolio --objective qubits
+    python -m repro compile bv_20 --backend eagle127 --mode min_swap
+    python -m repro backends                       # list the device registry
+    python -m repro drift-replay bv_5 --device ibm_mumbai --steps 12 --bands 2
     python -m repro serve --port 8787 --cache-dir /tmp/caqr-cache
     python -m repro serve --port 8787 --workers-mode persistent \
         --disk-entries 10000 --request-log /tmp/caqr-requests.jsonl
@@ -36,7 +40,14 @@ from repro.circuit import parse_qasm, to_qasm
 from repro.compile_api import caqr_compile
 from repro.core import assess_reuse_benefit, sweep_regular
 from repro.exceptions import ReproError
-from repro.hardware import Backend, backend_from_json, ibm_mumbai
+from repro.hardware import (
+    Backend,
+    backend_from_json,
+    device_names,
+    device_profile,
+    get_device,
+    ibm_mumbai,
+)
 from repro.workloads import benchmark_names, get_benchmark, qasm_benchmark_names
 
 __all__ = ["main"]
@@ -47,6 +58,8 @@ def _load_backend(spec: Optional[str]) -> Optional[Backend]:
         return None
     if spec == "mumbai":
         return ibm_mumbai()
+    if spec in device_names():
+        return get_device(spec)
     with open(spec) as handle:
         return backend_from_json(handle.read())
 
@@ -84,6 +97,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         cache=_cache_spec(args),
         strategy=args.strategy,
         objective=args.objective,
+        calib_bands=args.calib_bands,
     )
     metrics = report.metrics
     rows = [
@@ -167,6 +181,72 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     print("regular benchmarks:", ", ".join(benchmark_names()))
     print("QASM assets:", ", ".join(qasm_benchmark_names()))
     print("QAOA instances: qaoa<N>-<density>, e.g. qaoa10-0.3")
+    return 0
+
+
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in device_names():
+        profile = device_profile(name)
+        coupling = profile.coupling()
+        rows.append(
+            [
+                name,
+                profile.family,
+                coupling.num_qubits,
+                len(coupling.edges),
+                profile.description,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "family", "qubits", "links", "description"],
+            rows,
+            title="device registry (see docs/BACKENDS.md)",
+        )
+    )
+    return 0
+
+
+def _cmd_drift_replay(args: argparse.Namespace) -> int:
+    from repro.service.driftreplay import replay_drift
+
+    circuit = _load_circuit(args.circuit)
+    backend = _load_backend(args.device)
+    if backend is None:
+        raise ReproError("drift-replay needs --device")
+    result = replay_drift(
+        circuit,
+        backend,
+        steps=args.steps,
+        volatility=args.volatility,
+        calib_bands=args.bands,
+        seed=args.seed,
+        mode=args.mode,
+        qubit_limit=args.qubit_limit,
+    )
+    rows = [
+        ["steps", result.steps],
+        ["calib bands", result.calib_bands],
+        ["volatility", result.volatility],
+        ["banded hit rate", f"{result.banded_hit_rate:.0%} "
+         f"({result.banded_hits}/{result.banded_hits + result.banded_misses})"],
+        ["exact hit rate", f"{result.exact_hit_rate:.0%} "
+         f"({result.exact_hits}/{result.exact_hits + result.exact_misses})"],
+        ["hit uplift", f"{result.hit_uplift:.1f}x"],
+        ["decision changes", result.decision_changes],
+        ["shards touched (banded)", result.banded_shards],
+        ["shards touched (exact)", result.exact_shards],
+        ["ESP decay mean", f"{result.mean_esp_gap:.3g}"],
+        ["ESP decay max", f"{result.max_esp_gap:.3g}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"drift replay: {args.circuit} on {args.device}",
+        )
+    )
     return 0
 
 
@@ -345,6 +425,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile through a running `repro serve` instance "
         "(shared cross-process cache; overrides --cache/--cache-dir)",
     )
+    compile_parser.add_argument(
+        "--calib-bands",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drift tolerance of the cache key: quantise calibration "
+        "values into N bands per decade (default: $CAQR_CALIB_BANDS; "
+        "0 = exact digests)",
+    )
     compile_parser.set_defaults(func=_cmd_compile)
 
     sweep_parser = sub.add_parser(
@@ -363,6 +452,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     benchmarks_parser = sub.add_parser("benchmarks", help="list bundled circuits")
     benchmarks_parser.set_defaults(func=_cmd_benchmarks)
+
+    backends_parser = sub.add_parser(
+        "backends", help="list the synthetic device registry"
+    )
+    backends_parser.set_defaults(func=_cmd_backends)
+
+    drift_parser = sub.add_parser(
+        "drift-replay",
+        help="replay a calibration-drift series through the compile cache "
+        "and report hit-rate uplift, decision stability, and ESP decay",
+    )
+    drift_parser.add_argument(
+        "circuit", help="OpenQASM 2 file (*.qasm) or bundled benchmark name"
+    )
+    drift_parser.add_argument(
+        "--device",
+        default="ibm_mumbai",
+        help="registry device name, \"mumbai\", or a backend-JSON file",
+    )
+    drift_parser.add_argument(
+        "--steps", type=int, default=12, help="snapshots in the drift series"
+    )
+    drift_parser.add_argument(
+        "--volatility", type=float, default=0.01,
+        help="per-step stddev of log(value) for the random walk",
+    )
+    drift_parser.add_argument(
+        "--bands", type=int, default=2,
+        help="calibration bands per decade for the banded lane",
+    )
+    drift_parser.add_argument(
+        "--seed", type=int, default=7, help="drift random-walk seed"
+    )
+    drift_parser.add_argument(
+        "--mode",
+        default="min_depth",
+        choices=["qubit_budget", "max_reuse", "min_depth", "min_swap"],
+    )
+    drift_parser.add_argument("--qubit-limit", type=int, default=None)
+    drift_parser.set_defaults(func=_cmd_drift_replay)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the on-disk compile cache"

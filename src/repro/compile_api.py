@@ -16,6 +16,7 @@ import networkx as nx
 
 from repro.analysis.metrics import CircuitMetrics, collect_metrics
 from repro.circuit.circuit import QuantumCircuit
+from repro.core.profile import ReuseEvalStats
 from repro.core.qs_caqr import QSCaQR
 from repro.core.qs_commuting import QSCaQRCommuting
 from repro.core.sr_caqr import SRCaQR
@@ -28,6 +29,7 @@ from repro.core.tradeoff import (
 )
 from repro.exceptions import ReuseError
 from repro.hardware.backends import Backend
+from repro.sim.stats import SimStats
 from repro.transpiler.pipeline import transpile
 from repro.transpiler.stats import RouteStats
 
@@ -49,6 +51,16 @@ class CompileReport:
         qubit_saving: fraction of qubits saved vs. the input.
         route_stats: the SR router's counter/timer sink (``"min_swap"``
             mode only; ``None`` otherwise).
+        eval_stats: the QS evaluation engine's counter/timer sink,
+            accumulated over every sweep/reduction this compile ran
+            (cache hit-rate, candidate evaluations, greedy steps).
+            Observability only — like the route-stats timers, excluded
+            from determinism contracts.  Feeds the ``caqr_reuse_eval_*``
+            prefix on ``GET /v1/metrics``.
+        sim_stats: analytic-ESP instrumentation for the compiled circuit
+            under the backend calibration (``esp`` gauge, per-kind
+            instruction counts; present only when a backend was given).
+            Feeds the ``caqr_sim_*`` metrics prefix.
         from_cache: ``True`` when the compile service served this report
             without running the compiler — a warm cache entry, an
             in-flight join, or a folded duplicate batch member (see
@@ -76,6 +88,8 @@ class CompileReport:
     reuse_beneficial: bool
     qubit_saving: float
     route_stats: Optional[RouteStats] = None
+    eval_stats: Optional[ReuseEvalStats] = None
+    sim_stats: Optional[SimStats] = None
     from_cache: bool = False
     strategy: Optional[str] = None
     strategy_timings: Optional[Dict[str, float]] = None
@@ -98,6 +112,7 @@ def caqr_compile(
     strategy: str = "auto",
     objective: Optional[str] = None,
     portfolio_workers: Optional[int] = None,
+    calib_bands: Optional[int] = None,
 ) -> CompileReport:
     """Compile a circuit or QAOA problem graph with qubit reuse.
 
@@ -143,6 +158,12 @@ def caqr_compile(
             (``None`` uses the process-wide default service).  An engine
             knob: never changes the winning result, only how fast the
             race runs.
+        calib_bands: drift tolerance of the cache key's backend digest —
+            calibration values quantised into this many bands per decade
+            (see ``docs/SERVICE.md`` and ``docs/BACKENDS.md``).  ``None``
+            defers to ``$CAQR_CALIB_BANDS``; ``0`` pins exact digests.
+            Only meaningful with ``cache``: it changes which snapshots
+            share an entry, never the compiled output.
     """
     if strategy not in ("auto", "portfolio"):
         raise ReuseError(f"unknown compile strategy {strategy!r}")
@@ -151,8 +172,7 @@ def caqr_compile(
     if cache:
         from repro.service.service import resolve_cache
 
-        return resolve_cache(cache).compile(
-            target,
+        cache_kwargs = dict(
             backend=backend,
             mode=mode,
             qubit_limit=qubit_limit,
@@ -165,6 +185,11 @@ def caqr_compile(
             objective=objective,
             portfolio_workers=portfolio_workers,
         )
+        if calib_bands is not None:
+            # only the caching services understand banding; duck-typed
+            # cache objects keep seeing the historical signature
+            cache_kwargs["calib_bands"] = calib_bands
+        return resolve_cache(cache).compile(target, **cache_kwargs)
     if strategy == "portfolio":
         from repro.service.portfolio import (
             PortfolioCompileService,
@@ -244,8 +269,10 @@ def caqr_compile(
             route_stats = sr.stats
             original_width = target.num_qubits
         baseline = _baseline_metrics(target, backend, seed, angles)
+        eval_stats = ReuseEvalStats()
         sweep = _sweep(target, None, reset_style, seed,
-                       incremental=incremental, parallel=parallel)
+                       incremental=incremental, parallel=parallel,
+                       stats=eval_stats)
         metrics = collect_metrics(
             compiled, backend.calibration if backend else None
         )
@@ -257,25 +284,31 @@ def caqr_compile(
             reuse_beneficial=assess_reuse_benefit(sweep).beneficial,
             qubit_saving=1.0 - metrics.qubits_used / original_width,
             route_stats=route_stats,
+            eval_stats=eval_stats,
+            sim_stats=_esp_stats(compiled, backend),
         )
 
     if mode == "qubit_budget":
         if qubit_limit is None:
             raise ReuseError("qubit_budget mode needs qubit_limit")
+        eval_stats = ReuseEvalStats()
         if is_graph:
             qs_kwargs = {}
             if angles is not None:
                 qs_kwargs = {"gamma": angles[0], "beta": angles[1]}
-            point = QSCaQRCommuting(
-                target, reset_style=reset_style, **qs_kwargs
-            ).reduce_to(qubit_limit)
+            engine = QSCaQRCommuting(
+                target, reset_style=reset_style, stats=eval_stats, **qs_kwargs
+            )
+            point = engine.reduce_to(qubit_limit)
             original_width = target.number_of_nodes()
         else:
-            point = QSCaQR(
+            engine = QSCaQR(
                 reset_style=reset_style,
                 incremental=incremental,
                 parallel=parallel,
-            ).reduce_to(target, qubit_limit)
+            )
+            point = engine.reduce_to(target, qubit_limit)
+            eval_stats.merge(engine.stats)
             original_width = target.num_qubits
         if not point.feasible:
             raise ReuseError(
@@ -289,7 +322,8 @@ def caqr_compile(
             else logical
         )
         sweep = _sweep(target, None, reset_style, seed, angles,
-                       incremental=incremental, parallel=parallel)
+                       incremental=incremental, parallel=parallel,
+                       stats=eval_stats)
         return CompileReport(
             circuit=compiled,
             mode=mode,
@@ -299,12 +333,16 @@ def caqr_compile(
             baseline_metrics=_baseline_metrics(target, backend, seed, angles),
             reuse_beneficial=assess_reuse_benefit(sweep).beneficial,
             qubit_saving=1.0 - point.qubits / original_width,
+            eval_stats=eval_stats,
+            sim_stats=_esp_stats(compiled, backend),
         )
 
     if mode not in ("max_reuse", "min_depth"):
         raise ReuseError(f"unknown compile mode {mode!r}")
+    eval_stats = ReuseEvalStats()
     sweep = _sweep(target, backend, reset_style, seed, angles,
-                   incremental=incremental, parallel=parallel)
+                   incremental=incremental, parallel=parallel,
+                   stats=eval_stats)
     point = select_point(sweep, mode)
     original_width = (
         target.number_of_nodes() if is_graph else target.num_qubits
@@ -318,11 +356,13 @@ def caqr_compile(
         baseline_metrics=_baseline_metrics(target, backend, seed, angles),
         reuse_beneficial=assess_reuse_benefit(sweep).beneficial,
         qubit_saving=1.0 - point.qubits / original_width,
+        eval_stats=eval_stats,
+        sim_stats=_esp_stats(point.circuit, backend),
     )
 
 
 def _sweep(target, backend, reset_style, seed, angles=None,
-           incremental=True, parallel=True):
+           incremental=True, parallel=True, stats=None):
     if isinstance(target, nx.Graph):
         gamma, beta = angles if angles is not None else (None, None)
         return sweep_commuting(
@@ -333,6 +373,7 @@ def _sweep(target, backend, reset_style, seed, angles=None,
             gamma=gamma,
             beta=beta,
             parallel=parallel,
+            stats=stats,
         )
     return sweep_regular(
         target,
@@ -341,7 +382,29 @@ def _sweep(target, backend, reset_style, seed, angles=None,
         seed=seed,
         incremental=incremental,
         parallel=parallel,
+        stats=stats,
     )
+
+
+def _esp_stats(circuit, backend) -> Optional[SimStats]:
+    """Analytic-ESP instrumentation for a hardware-mapped compile.
+
+    ``None`` without a backend, or when the circuit has gates the
+    calibration cannot score (logical-level output) — a report must never
+    fail over observability.
+    """
+    if backend is None:
+        return None
+    from repro.sim.metrics import estimated_success_probability
+
+    stats = SimStats()
+    try:
+        estimated_success_probability(
+            circuit, backend.calibration, stats=stats
+        )
+    except Exception:
+        return None
+    return stats
 
 
 def _baseline_metrics(target, backend, seed, angles=None) -> Optional[CircuitMetrics]:

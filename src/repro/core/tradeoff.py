@@ -67,13 +67,16 @@ def sweep_regular(
     seed: int = 11,
     incremental: bool = True,
     parallel: bool = True,
+    stats=None,
 ) -> List[TradeoffPoint]:
     """QS-CaQR sweep for a regular circuit, optionally hardware-mapped.
 
     Returns one point per achievable qubit count, original width first.
     ``incremental``/``parallel`` select the evaluation engine (see
     :class:`~repro.core.qs_caqr.QSCaQR`); both engines yield the same
-    points.
+    points.  *stats* is an optional
+    :class:`~repro.core.profile.ReuseEvalStats` sink the sweep's engine
+    counters/timers are folded into.
     """
     compiler = QSCaQR(
         objective=objective,
@@ -92,6 +95,8 @@ def sweep_regular(
         if backend is not None:
             _compile_point(point, backend, seed)
         points.append(point)
+    if stats is not None:
+        stats.merge(compiler.stats)
     return points
 
 
@@ -106,6 +111,7 @@ def sweep_commuting(
     gamma: Optional[float] = None,
     beta: Optional[float] = None,
     parallel: bool = True,
+    stats=None,
 ) -> List[TradeoffPoint]:
     """QS-CaQR-commuting sweep for a QAOA problem graph.
 
@@ -141,6 +147,8 @@ def sweep_commuting(
         if backend is not None:
             _compile_point(point, backend, seed)
         points.append(point)
+    if stats is not None:
+        stats.merge(compiler.stats)
     return points
 
 

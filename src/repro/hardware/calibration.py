@@ -114,12 +114,19 @@ def synthetic_calibration(
     sq_error_range: Tuple[float, float] = (0.0002, 0.001),
     cx_duration_range: Tuple[int, int] = (1100, 2500),
     t1_range_us: Tuple[float, float] = (50.0, 200.0),
+    measure_duration: Optional[int] = None,
+    reset_duration: Optional[int] = None,
+    sq_duration: Optional[int] = None,
 ) -> Calibration:
     """Generate a realistic, seeded calibration for *coupling*.
 
     Errors are drawn uniformly in log-space so most links are good and a
     few are notably bad — matching the heavy-tailed variability real
     devices show and the paper's placement heuristics exploit.
+
+    The duration overrides let non-superconducting profiles (the device
+    registry's trapped-ion entries, where measurement and reset dominate
+    the schedule) replace the Falcon-flavoured defaults.
     """
     import math
 
@@ -129,6 +136,12 @@ def synthetic_calibration(
         return math.exp(rng.uniform(math.log(low), math.log(high)))
 
     calibration = Calibration()
+    if measure_duration is not None:
+        calibration.measure_duration = int(measure_duration)
+    if reset_duration is not None:
+        calibration.reset_duration = int(reset_duration)
+    if sq_duration is not None:
+        calibration.sq_duration = int(sq_duration)
     for a, b in coupling.edges:
         key = _edge_key(a, b)
         calibration.cx_error[key] = _log_uniform(*cx_error_range)

@@ -1,0 +1,171 @@
+"""Calibration drift: seeded random-walk time series over a backend.
+
+Real devices are recalibrated on a cadence, and between (and across)
+calibration runs the per-gate error rates and coherence times move — a
+scenario the frozen snapshots in this repo could not express.
+:class:`DriftSimulator` replays that: every tracked calibration value
+performs an independent multiplicative random walk
+(``value *= exp(N(0, volatility))`` per step), clamped to a maximum
+relative excursion from its day-zero value and to physical bounds
+(error probabilities stay below 50 %, T2 <= 2*T1).
+
+Determinism: one seeded PRNG drawn in sorted-key order, so a
+``(backend, volatility, seed)`` triple always yields the same series —
+the drift-replay harness (:mod:`repro.service.driftreplay`), the CI
+smoke gate, and the nightly benchmark all rely on replaying identical
+snapshots.
+
+Durations stay fixed: drift reports on production devices update error
+rates and coherence times, while gate/measure lengths are pinned by the
+pulse schedule.  That also means the *banded* backend digest
+(:func:`repro.service.fingerprint.banded_backend_digest`) sees only
+banded-value changes under drift — the exact fields banding quantises.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Tuple
+
+from repro.exceptions import HardwareError
+from repro.hardware.backends import Backend
+from repro.hardware.calibration import Calibration
+
+__all__ = ["DriftSimulator", "drift_series"]
+
+#: Error probabilities never walk above this (a link this bad would be
+#: disabled by the provider, and ESP math needs error < 1).
+_MAX_ERROR = 0.5
+
+
+def _clamped(value: float, start: float, max_drift: float) -> float:
+    """Clamp a walked value to within *max_drift*x of its day-zero value."""
+    return min(max(value, start / max_drift), start * max_drift)
+
+
+@dataclass
+class DriftSimulator:
+    """Seeded random-walk drift over one backend's calibration.
+
+    Args:
+        backend: the day-zero snapshot (never mutated).
+        volatility: per-step standard deviation of ``log(value)`` — 0.02
+            means a typical value moves ~2 % per step.
+        seed: PRNG seed; the walk is a pure function of
+            ``(backend, volatility, seed)``.
+        max_drift: maximum relative excursion from the day-zero value
+            (a value never leaves ``[start/max_drift, start*max_drift]``),
+            so a long series cannot walk into absurd calibrations.
+    """
+
+    backend: Backend
+    volatility: float = 0.02
+    seed: int = 7
+    max_drift: float = 4.0
+    _rng: random.Random = field(init=False, repr=False)
+    _step: int = field(init=False, default=0)
+    _cx_error: Dict = field(init=False, repr=False)
+    _readout: Dict = field(init=False, repr=False)
+    _sq_error: Dict = field(init=False, repr=False)
+    _t1: Dict = field(init=False, repr=False)
+    _t2: Dict = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.volatility < 0:
+            raise HardwareError("volatility must be >= 0")
+        if self.max_drift < 1:
+            raise HardwareError("max_drift must be >= 1")
+        self._rng = random.Random(self.seed)
+        calibration = self.backend.calibration
+        self._cx_error = dict(calibration.cx_error)
+        self._readout = dict(calibration.readout_error)
+        self._sq_error = dict(calibration.sq_error)
+        self._t1 = dict(calibration.t1_dt)
+        self._t2 = dict(calibration.t2_dt)
+
+    @property
+    def step_index(self) -> int:
+        """How many :meth:`step` calls have been applied."""
+        return self._step
+
+    def _walk(self, values: Dict, starts: Dict) -> None:
+        # sorted iteration: dict order must not leak into the PRNG stream
+        for key in sorted(values, key=repr):
+            walked = values[key] * math.exp(
+                self._rng.gauss(0.0, self.volatility)
+            )
+            values[key] = _clamped(walked, starts[key], self.max_drift)
+
+    def step(self) -> Backend:
+        """Advance the walk one step and return the new snapshot."""
+        calibration = self.backend.calibration
+        self._walk(self._cx_error, calibration.cx_error)
+        self._walk(self._readout, calibration.readout_error)
+        self._walk(self._sq_error, calibration.sq_error)
+        self._walk(self._t1, calibration.t1_dt)
+        self._walk(self._t2, calibration.t2_dt)
+        self._step += 1
+        return self.snapshot()
+
+    def snapshot(self) -> Backend:
+        """A fresh Backend at the walk's current position (no aliasing).
+
+        The name, coupling map, capability flags, and all durations come
+        from the day-zero backend unchanged — only error rates and
+        coherence times differ, so the banded digest is the only digest
+        that can survive a step.
+        """
+        source = self.backend.calibration
+        calibration = Calibration(
+            cx_error={
+                key: min(value, _MAX_ERROR)
+                for key, value in self._cx_error.items()
+            },
+            cx_duration=dict(source.cx_duration),
+            readout_error={
+                key: min(value, _MAX_ERROR)
+                for key, value in self._readout.items()
+            },
+            sq_error={
+                key: min(value, _MAX_ERROR)
+                for key, value in self._sq_error.items()
+            },
+            t1_dt=dict(self._t1),
+            t2_dt={
+                # T2 is physically bounded by 2*T1
+                qubit: min(value, 2.0 * self._t1.get(qubit, value))
+                for qubit, value in self._t2.items()
+            },
+            measure_duration=source.measure_duration,
+            reset_duration=source.reset_duration,
+            sq_duration=source.sq_duration,
+        )
+        return replace(self.backend, calibration=calibration)
+
+    def series(self, steps: int) -> Iterator[Backend]:
+        """Yield *steps* snapshots: the day-zero backend, then one per step."""
+        if steps < 1:
+            raise HardwareError("steps must be >= 1")
+        yield self.snapshot()
+        for _ in range(steps - 1):
+            yield self.step()
+
+
+def drift_series(
+    backend: Backend,
+    steps: int,
+    volatility: float = 0.02,
+    seed: int = 7,
+    max_drift: float = 4.0,
+) -> List[Backend]:
+    """The first *steps* snapshots of a :class:`DriftSimulator` walk.
+
+    Element 0 is the pristine day-zero snapshot; each later element has
+    drifted one more step.  Deterministic in all arguments.
+    """
+    simulator = DriftSimulator(
+        backend, volatility=volatility, seed=seed, max_drift=max_drift
+    )
+    return list(simulator.series(steps))

@@ -1,16 +1,26 @@
-"""Topology generators: line, ring, grid, star, full, and IBM heavy-hex.
+"""Topology generators and the device-profile registry.
 
-The heavy-hex lattice is a hexagonal lattice with one extra qubit on every
-edge, giving vertex degrees of at most 3.  ``heavy_hex`` builds it by
-subdividing :func:`networkx.hexagonal_lattice_graph`; ``scaled_heavy_hex``
-grows the lattice until it holds a requested number of qubits (the paper's
-"scaled heavy-hex architecture" used for large QAOA instances).
+Generators: line, ring, grid, star, full, and two heavy-hex families —
+``heavy_hex`` (subdivided :func:`networkx.hexagonal_lattice_graph`, the
+paper's "scaled heavy-hex architecture") and ``heavy_hex_rows`` (the
+IBM-production layout of horizontal chains joined by rung qubits, which
+hits the exact published qubit counts: 127-qubit Eagle, 433-qubit
+Osprey).  Every generated vertex keeps degree <= 3.
+
+The **device registry** maps stable names ("ibm_mumbai", "eagle127",
+"iontrap32", ...) to :class:`DeviceProfile` records: a coupling factory
+plus a seeded synthetic-calibration recipe scaled to the device class.
+``get_device(name)`` materialises a fresh :class:`~repro.hardware.backends.Backend`
+— deterministic per name, so digests and cache keys are reproducible
+across processes.  See ``docs/BACKENDS.md`` for the catalogue and how to
+register a new profile.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 import networkx as nx
 
@@ -24,9 +34,17 @@ __all__ = [
     "star",
     "full",
     "heavy_hex",
+    "heavy_hex_rows",
     "scaled_heavy_hex",
     "FALCON_27_EDGES",
     "falcon_27",
+    "eagle_127",
+    "osprey_433",
+    "DeviceProfile",
+    "register_device",
+    "device_names",
+    "device_profile",
+    "get_device",
 ]
 
 
@@ -120,3 +138,203 @@ FALCON_27_EDGES: List[Tuple[int, int]] = [
 def falcon_27() -> CouplingMap:
     """The 27-qubit heavy-hex coupling of IBM Mumbai-class devices."""
     return CouplingMap(27, FALCON_27_EDGES)
+
+
+def heavy_hex_rows(rows: int, row_len: int, trim: int = 0) -> CouplingMap:
+    """IBM-production heavy-hex: horizontal chains joined by rung qubits.
+
+    *rows* chains of *row_len* qubits each; between consecutive chains a
+    rung qubit bridges every fourth column, the column offset alternating
+    0 / 2 per gap (the Falcon/Eagle/Osprey pattern).  Chain qubits touch
+    at most one rung, so the maximum degree is 3.  *trim* drops that many
+    of the highest-numbered rung qubits — how the generator hits exact
+    published counts (Eagle: 7x15 + 24 rungs - 2 = 127) — and never
+    disconnects the lattice while at least one rung per gap remains.
+    """
+    if rows < 1 or row_len < 3:
+        raise HardwareError("heavy_hex_rows needs rows >= 1 and row_len >= 3")
+
+    def chain_q(r: int, c: int) -> int:
+        return r * row_len + c
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(row_len - 1):
+            edges.append((chain_q(r, c), chain_q(r, c + 1)))
+    num_qubits = rows * row_len
+    rung_ids: List[int] = []
+    for r in range(rows - 1):
+        offset = 0 if r % 2 == 0 else 2
+        for c in range(offset, row_len, 4):
+            rung = num_qubits
+            num_qubits += 1
+            rung_ids.append(rung)
+            edges.append((chain_q(r, c), rung))
+            edges.append((rung, chain_q(r + 1, c)))
+    if trim:
+        if trim < 0 or trim > len(rung_ids):
+            raise HardwareError(
+                f"trim must be between 0 and {len(rung_ids)}, got {trim}"
+            )
+        # rungs carry the highest ids, so dropping the last `trim` keeps
+        # the numbering contiguous
+        drop = set(rung_ids[-trim:])
+        edges = [(a, b) for a, b in edges if a not in drop and b not in drop]
+        num_qubits -= trim
+    return CouplingMap(num_qubits, edges)
+
+
+def eagle_127() -> CouplingMap:
+    """A 127-qubit Eagle-class heavy-hex coupling (ibm_washington scale)."""
+    return heavy_hex_rows(7, 15, trim=2)
+
+
+def osprey_433() -> CouplingMap:
+    """A 433-qubit Osprey-class heavy-hex coupling (ibm_seattle scale)."""
+    return heavy_hex_rows(13, 27, trim=2)
+
+
+# -- the device-profile registry ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One named synthetic device: topology + calibration recipe.
+
+    ``backend()`` materialises a fresh
+    :class:`~repro.hardware.backends.Backend`; two calls produce
+    bit-identical snapshots (same seed, same draw order), so device names
+    are stable cache/fleet coordinates.
+    """
+
+    name: str
+    family: str
+    description: str
+    coupling_factory: Callable[[], CouplingMap]
+    seed: int
+    calibration_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    supports_dynamic_circuits: bool = True
+
+    def coupling(self) -> CouplingMap:
+        return self.coupling_factory()
+
+    def backend(self):
+        # local import: backends -> calibration -> this module would cycle
+        # at module scope
+        from repro.hardware.backends import Backend
+        from repro.hardware.calibration import synthetic_calibration
+
+        coupling = self.coupling_factory()
+        return Backend(
+            name=self.name,
+            coupling=coupling,
+            calibration=synthetic_calibration(
+                coupling, seed=self.seed, **dict(self.calibration_kwargs)
+            ),
+            supports_dynamic_circuits=self.supports_dynamic_circuits,
+        )
+
+
+_DEVICE_REGISTRY: Dict[str, DeviceProfile] = {}
+
+
+def register_device(profile: DeviceProfile, replace: bool = False) -> DeviceProfile:
+    """Add *profile* to the registry (``replace=True`` to overwrite)."""
+    if not replace and profile.name in _DEVICE_REGISTRY:
+        raise HardwareError(f"device {profile.name!r} is already registered")
+    _DEVICE_REGISTRY[profile.name] = profile
+    return profile
+
+
+def device_names() -> List[str]:
+    """Registered device names, sorted."""
+    return sorted(_DEVICE_REGISTRY)
+
+
+def device_profile(name: str) -> DeviceProfile:
+    """The registered profile for *name* (raises with the catalogue)."""
+    try:
+        return _DEVICE_REGISTRY[name]
+    except KeyError:
+        raise HardwareError(
+            f"unknown device {name!r}; registered: {', '.join(device_names())}"
+        ) from None
+
+
+def get_device(name: str):
+    """Materialise the named device as a fresh, deterministic Backend."""
+    return device_profile(name).backend()
+
+
+# Trapped-ion timing: two-qubit gates and measurement run ~100-1000x
+# slower than superconducting (hundreds of microseconds at 0.22 ns/dt),
+# but coherence is practically unlimited and connectivity all-to-all
+# (the DeCross et al. Quantinuum model, arXiv:2210.08039).
+_ION_TRAP_CALIBRATION = {
+    "cx_error_range": (0.001, 0.008),
+    "readout_error_range": (0.001, 0.01),
+    "sq_error_range": (0.00002, 0.0002),
+    "cx_duration_range": (900_000, 1_400_000),
+    "t1_range_us": (1_000_000.0, 10_000_000.0),
+    "measure_duration": 500_000,
+    "reset_duration": 50_000,
+    "sq_duration": 50_000,
+}
+
+for _profile in (
+    DeviceProfile(
+        name="ibm_mumbai",
+        family="heavy-hex",
+        description="27-qubit Falcon (the paper's evaluation device)",
+        coupling_factory=falcon_27,
+        # matches repro.hardware.mumbai.MUMBAI_SEED (kept literal: mumbai
+        # imports this module); test_registry pins the snapshots equal
+        seed=20230319,
+    ),
+    DeviceProfile(
+        name="eagle127",
+        family="heavy-hex",
+        description="127-qubit Eagle-class heavy-hex",
+        coupling_factory=eagle_127,
+        seed=20230412,
+    ),
+    DeviceProfile(
+        name="osprey433",
+        family="heavy-hex",
+        description="433-qubit Osprey-class heavy-hex",
+        coupling_factory=osprey_433,
+        seed=20230505,
+    ),
+    DeviceProfile(
+        name="grid36",
+        family="square-grid",
+        description="6x6 square lattice",
+        coupling_factory=lambda: grid(6, 6),
+        seed=20230601,
+    ),
+    DeviceProfile(
+        name="grid64",
+        family="square-grid",
+        description="8x8 square lattice",
+        coupling_factory=lambda: grid(8, 8),
+        seed=20230602,
+    ),
+    DeviceProfile(
+        name="iontrap32",
+        family="ion-trap",
+        description="32-qubit all-to-all trapped-ion (slow gates, long T1)",
+        coupling_factory=lambda: full(32),
+        seed=20230701,
+        calibration_kwargs=_ION_TRAP_CALIBRATION,
+    ),
+    DeviceProfile(
+        name="iontrap56",
+        family="ion-trap",
+        description="56-qubit all-to-all trapped-ion (slow gates, long T1)",
+        coupling_factory=lambda: full(56),
+        seed=20230702,
+        calibration_kwargs=_ION_TRAP_CALIBRATION,
+    ),
+):
+    register_device(_profile)
+del _profile

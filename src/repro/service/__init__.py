@@ -17,13 +17,18 @@ servers (:mod:`repro.service.fleet`).  See
 """
 
 from repro.service.cache import DEFAULT_SHARD, DiskCache, MemoryCache, TieredCache
+from repro.service.driftreplay import DriftReplayResult, replay_drift
 from repro.service.fingerprint import (
+    CALIB_BANDS_ENV,
     backend_digest,
+    band_value,
+    banded_backend_digest,
     circuit_digest,
     circuit_normal_form,
     graph_digest,
     graph_normal_form,
     request_fingerprint,
+    resolve_calib_bands,
 )
 from repro.service.serialization import (
     SCHEMA_VERSION,
@@ -116,6 +121,12 @@ __all__ = [
     "graph_digest",
     "graph_normal_form",
     "backend_digest",
+    "banded_backend_digest",
+    "band_value",
+    "resolve_calib_bands",
+    "CALIB_BANDS_ENV",
+    "DriftReplayResult",
+    "replay_drift",
     "circuit_to_dict",
     "circuit_from_dict",
     "report_to_dict",

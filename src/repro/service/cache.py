@@ -14,7 +14,12 @@ interchangeable.
   digest**: every calibration snapshot gets its own subdirectory
   (requests without a backend share the :data:`DEFAULT_SHARD` one), so
   multi-device sweeps never contend on one directory and per-device
-  eviction/invalidation stays a directory operation.  Legacy flat
+  eviction/invalidation stays a directory operation.  When drift
+  banding is on (``CompileRequest.calib_bands`` /
+  ``$CAQR_CALIB_BANDS``), the shard is the *banded* digest prefix
+  (:func:`repro.service.fingerprint.banded_backend_digest`), so every
+  in-band calibration snapshot of one device lands in one directory —
+  and the fleet ring key derived from the shard stays put under drift.  Legacy flat
   ``<key>.json`` entries written before sharding are migrated into
   their shard lazily, on first lookup.  Writes are atomic (temp file +
   ``os.replace``) so a crashed writer can never leave a half entry

@@ -13,9 +13,13 @@ placement from outside the gateway process:
   calibration route by their 16-hex shard digest
   (:meth:`repro.service.service.CompileRequest.shard`) so one
   calibration's entries colocate on one server (its DiskCache shard
-  directory stays hot). Backend-less requests all share
-  :data:`~repro.service.cache.DEFAULT_SHARD`, which would pin them to a
-  single server — those route by full fingerprint instead.
+  directory stays hot). The shard is the *banded* calibration digest
+  when drift banding is on (``calib_bands`` / ``$CAQR_CALIB_BANDS``),
+  so day-to-day in-band drift keeps routing to the server that holds
+  the warm entries instead of re-homing every snapshot. Backend-less
+  requests all share :data:`~repro.service.cache.DEFAULT_SHARD`, which
+  would pin them to a single server — those route by full fingerprint
+  instead.
 * :class:`FleetState` — the mark-down / re-probe membership machine.
   ``record_failure`` marks a backend down after ``mark_down_after``
   consecutive health failures; downed backends get re-probed on a
@@ -61,7 +65,9 @@ def ring_key(shard: str, fingerprint: str) -> str:
     Calibration-backed requests route by shard digest so a calibration's
     cache entries colocate; backend-less requests (all sharing
     ``DEFAULT_SHARD``) spread by fingerprint instead of piling onto one
-    member.
+    member.  With drift banding on, the shard is the banded digest
+    prefix, so every in-band snapshot of a device maps to the same ring
+    owner — the member whose DiskCache already holds the warm entry.
     """
     return shard if shard != DEFAULT_SHARD else fingerprint
 

@@ -253,6 +253,7 @@ class RemoteCompileService:
         strategy: str = "auto",
         objective: Optional[str] = None,
         portfolio_workers: Optional[int] = None,
+        calib_bands: Optional[int] = None,
     ) -> CompileReport:
         """Remote cached ``caqr_compile`` — same signature as the local one."""
         return self.compile_request(
@@ -269,6 +270,7 @@ class RemoteCompileService:
                 strategy=strategy,
                 objective=objective,
                 portfolio_workers=portfolio_workers,
+                calib_bands=calib_bands,
             )
         )
 

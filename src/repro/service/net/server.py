@@ -137,9 +137,11 @@ CACHE_ONLY_HEADER = "x-caqr-cache-only"
 
 #: ``CompileReport`` fields whose engine stats are folded into their own
 #: Prometheus prefix (``caqr_route_*``, ``caqr_sim_*``,
-#: ``caqr_reuse_eval_*``) when a server-side cold compile carries them.
-#: getattr-based: a report field that does not exist yet simply stays
-#: dark until a later schema adds it.
+#: ``caqr_reuse_eval_*``) when a server-side cold compile carries them:
+#: route stats from ``min_swap`` compiles, QS evaluation stats from every
+#: sweep/reduction, analytic-ESP stats from hardware-mapped compiles.
+#: getattr-based: a report field a future schema removes simply goes dark
+#: instead of crashing the scrape.
 _REPORT_STAT_DOMAINS = (
     ("route", "route_stats"),
     ("sim", "sim_stats"),

@@ -58,7 +58,9 @@ __all__ = [
 
 # v2: portfolio knobs (strategy / objective / portfolio_workers) joined
 # the request envelope; the report record gained the portfolio fields
-WIRE_SCHEMA_VERSION = 2
+# v3: calib_bands joined the request envelope (drift-banded fingerprints);
+# the report record gained sim_stats / eval_stats
+WIRE_SCHEMA_VERSION = 3
 
 #: Cache-status labels carried in the ``X-CaQR-Cache`` header and the
 #: response envelope: ``miss`` — this request paid for the compile;
@@ -162,6 +164,10 @@ def request_to_wire(request: CompileRequest) -> Dict[str, Any]:
             "strategy": request.strategy,
             "objective": request.objective,
             "portfolio_workers": request.portfolio_workers,
+            # ship the *resolved* band count: the sender's environment is
+            # authoritative, so client, server, and gateway cannot disagree
+            # on the digest a request keys under
+            "calib_bands": request.resolved_calib_bands(),
         },
     }
 
@@ -192,6 +198,7 @@ def request_from_wire(payload: Dict[str, Any]) -> CompileRequest:
         qubit_limit = knobs.get("qubit_limit")
         objective = knobs.get("objective")
         portfolio_workers = knobs.get("portfolio_workers")
+        calib_bands = knobs.get("calib_bands")
         return CompileRequest(
             target=target,
             backend=backend,
@@ -207,6 +214,9 @@ def request_from_wire(payload: Dict[str, Any]) -> CompileRequest:
             portfolio_workers=(
                 int(portfolio_workers) if portfolio_workers is not None else None
             ),
+            # the sender resolved its environment already; an absent value
+            # means "banding off", never "re-resolve against *our* env"
+            calib_bands=int(calib_bands) if calib_bands is not None else 0,
         )
     except WireError:
         raise

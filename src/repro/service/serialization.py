@@ -25,7 +25,9 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.instruction import Instruction
 from repro.circuit.qasm.exporter import to_qasm
 from repro.compile_api import CompileReport
+from repro.core.profile import ReuseEvalStats
 from repro.exceptions import ServiceError
+from repro.sim.stats import SimStats
 from repro.transpiler.stats import RouteStats
 
 __all__ = [
@@ -40,7 +42,9 @@ __all__ = [
 
 # v2: portfolio fields (strategy, strategy_timings, strategy_errors,
 # optimality_gap, exact_optimal) joined the report record
-SCHEMA_VERSION = 2
+# v3: engine-observability fields (eval_stats, sim_stats) joined the
+# report record (the "stats on the wire" item)
+SCHEMA_VERSION = 3
 
 
 def circuit_to_dict(circuit: QuantumCircuit) -> Dict[str, Any]:
@@ -129,6 +133,41 @@ def _route_stats_from_dict(payload: Optional[Dict[str, Any]]) -> Optional[RouteS
     )
 
 
+def _eval_stats_to_dict(stats: Optional[ReuseEvalStats]) -> Optional[Dict[str, Any]]:
+    if stats is None:
+        return None
+    return {"counters": dict(stats.counters), "timers": dict(stats.timers)}
+
+
+def _eval_stats_from_dict(payload: Optional[Dict[str, Any]]) -> Optional[ReuseEvalStats]:
+    if payload is None:
+        return None
+    return ReuseEvalStats(
+        counters={k: int(v) for k, v in payload["counters"].items()},
+        timers={k: float(v) for k, v in payload["timers"].items()},
+    )
+
+
+def _sim_stats_to_dict(stats: Optional[SimStats]) -> Optional[Dict[str, Any]]:
+    if stats is None:
+        return None
+    return {
+        "counters": dict(stats.counters),
+        "timers": dict(stats.timers),
+        "values": dict(stats.values),
+    }
+
+
+def _sim_stats_from_dict(payload: Optional[Dict[str, Any]]) -> Optional[SimStats]:
+    if payload is None:
+        return None
+    return SimStats(
+        counters={k: int(v) for k, v in payload["counters"].items()},
+        timers={k: float(v) for k, v in payload["timers"].items()},
+        values={k: float(v) for k, v in payload["values"].items()},
+    )
+
+
 def report_to_dict(report: CompileReport) -> Dict[str, Any]:
     """``CompileReport`` -> JSON-compatible dict (plus a QASM sidecar)."""
     return {
@@ -139,6 +178,8 @@ def report_to_dict(report: CompileReport) -> Dict[str, Any]:
         "reuse_beneficial": report.reuse_beneficial,
         "qubit_saving": report.qubit_saving,
         "route_stats": _route_stats_to_dict(report.route_stats),
+        "eval_stats": _eval_stats_to_dict(report.eval_stats),
+        "sim_stats": _sim_stats_to_dict(report.sim_stats),
         "strategy": report.strategy,
         "strategy_timings": report.strategy_timings,
         "strategy_errors": report.strategy_errors,
@@ -160,6 +201,8 @@ def report_from_dict(payload: Dict[str, Any]) -> CompileReport:
         reuse_beneficial=bool(payload["reuse_beneficial"]),
         qubit_saving=float(payload["qubit_saving"]),
         route_stats=_route_stats_from_dict(payload.get("route_stats")),
+        eval_stats=_eval_stats_from_dict(payload.get("eval_stats")),
+        sim_stats=_sim_stats_from_dict(payload.get("sim_stats")),
         from_cache=True,
         strategy=payload.get("strategy"),
         strategy_timings=(

@@ -43,7 +43,11 @@ from repro.service.cache import (
     MemoryCache,
     TieredCache,
 )
-from repro.service.fingerprint import backend_digest, request_fingerprint
+from repro.service.fingerprint import (
+    banded_backend_digest,
+    request_fingerprint,
+    resolve_calib_bands,
+)
 from repro.service.serialization import dumps_entry, loads_entry
 from repro.service.stats import ServiceStats
 from repro.service.workers import WorkerPool, resolve_workers_mode
@@ -68,6 +72,12 @@ class CompileRequest:
     identical outputs, so they never invalidate a key.  ``strategy`` and
     ``objective`` are semantic: a portfolio compile may legitimately
     return a different circuit than the single-strategy path.
+
+    ``calib_bands`` sets the drift tolerance of the backend digest
+    (bands per decade; ``None`` defers to ``$CAQR_CALIB_BANDS``, ``0``
+    means exact digests).  It feeds both the fingerprint and the shard,
+    so in-band calibration drift keeps a request on the same cache entry
+    *and* the same fleet member.
     """
 
     target: Union[QuantumCircuit, nx.Graph]
@@ -82,6 +92,11 @@ class CompileRequest:
     strategy: str = "auto"
     objective: Optional[str] = None
     portfolio_workers: Optional[int] = None
+    calib_bands: Optional[int] = None
+
+    def resolved_calib_bands(self) -> Optional[int]:
+        """The effective band count (explicit value, else the env default)."""
+        return resolve_calib_bands(self.calib_bands)
 
     def fingerprint(self) -> str:
         """The content-addressed cache key for this request."""
@@ -95,16 +110,21 @@ class CompileRequest:
             auto_commuting=self.auto_commuting,
             strategy=self.strategy,
             objective=self.objective,
+            calib_bands=self.calib_bands,
         )
 
     def shard(self) -> str:
         """The disk-cache shard this request's entry lives in.
 
-        One shard per backend calibration snapshot (a 16-hex-char prefix
-        of the backend digest); backend-less requests share
-        :data:`~repro.service.cache.DEFAULT_SHARD`.
+        One shard per backend calibration *band* (a 16-hex-char prefix of
+        the banded backend digest — the exact digest when banding is
+        off); backend-less requests share
+        :data:`~repro.service.cache.DEFAULT_SHARD`.  The fleet's
+        :func:`~repro.service.fleet.ring_key` routes by this value, so
+        banding also keeps in-band drift from re-homing keys across
+        servers.
         """
-        digest = backend_digest(self.backend)
+        digest = banded_backend_digest(self.backend, self.resolved_calib_bands())
         return digest[:16] if digest else DEFAULT_SHARD
 
 
@@ -226,6 +246,7 @@ class CompileService:
         strategy: str = "auto",
         objective: Optional[str] = None,
         portfolio_workers: Optional[int] = None,
+        calib_bands: Optional[int] = None,
     ) -> CompileReport:
         """Cached ``caqr_compile``: warm keys skip QS/SR entirely."""
         return self.compile_request(
@@ -242,6 +263,7 @@ class CompileService:
                 strategy=strategy,
                 objective=objective,
                 portfolio_workers=portfolio_workers,
+                calib_bands=calib_bands,
             )
         )
 

@@ -69,6 +69,7 @@ def estimated_success_probability(
     circuit: QuantumCircuit,
     calibration: Calibration,
     include_decoherence: bool = True,
+    stats=None,
 ) -> float:
     """Analytic ESP: product of per-instruction success probabilities.
 
@@ -78,13 +79,23 @@ def estimated_success_probability(
     error per qubit; SWAP counted as three CX).  When *include_decoherence*
     is set, each qubit contributes exp(-(busy+idle time)/T1) over its
     active window, which penalises long-duration circuits.
+
+    *stats* is an optional :class:`~repro.sim.stats.SimStats` sink:
+    counters ``esp_two_qubit_evals`` / ``esp_readout_evals`` /
+    ``esp_single_qubit_evals`` / ``esp_decoherence_qubits``, the ``esp``
+    gauge (the returned value), and the ``esp`` time bucket.
     """
+    import time as _time
+
+    start = _time.perf_counter()
+    two_qubit_evals = readout_evals = single_qubit_evals = decoherence_qubits = 0
     esp = 1.0
     for instruction in circuit.data:
         if instruction.is_directive() or instruction.name == "delay":
             continue
         if instruction.name == "measure":
             esp *= 1.0 - calibration.get_readout_error(instruction.qubits[0])
+            readout_evals += 1
         elif instruction.name == "reset":
             continue
         elif len(instruction.qubits) == 2:
@@ -97,8 +108,10 @@ def estimated_success_probability(
                 esp *= (1.0 - error) ** 3
             else:
                 esp *= 1.0 - error
+            two_qubit_evals += 1
         else:
             esp *= 1.0 - calibration.get_sq_error(instruction.qubits[0])
+            single_qubit_evals += 1
     if include_decoherence:
         schedule = schedule_asap(circuit, calibration)
         for qubit in circuit.used_qubits():
@@ -106,6 +119,14 @@ def estimated_success_probability(
             t1 = calibration.get_t1(qubit)
             if math.isfinite(t1) and t1 > 0:
                 esp *= math.exp(-window / t1)
+                decoherence_qubits += 1
+    if stats is not None:
+        stats.count("esp_two_qubit_evals", two_qubit_evals)
+        stats.count("esp_readout_evals", readout_evals)
+        stats.count("esp_single_qubit_evals", single_qubit_evals)
+        stats.count("esp_decoherence_qubits", decoherence_qubits)
+        stats.set_value("esp", esp)
+        stats.add_time("esp", _time.perf_counter() - start)
     return esp
 
 

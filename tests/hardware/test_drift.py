@@ -1,0 +1,97 @@
+"""Calibration-drift simulator: determinism, clamps, and what stays fixed."""
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    DriftSimulator,
+    backend_to_json,
+    drift_series,
+    get_device,
+    ibm_mumbai,
+)
+
+
+class TestDriftSeries:
+    def test_deterministic_in_backend_volatility_seed(self):
+        a = drift_series(ibm_mumbai(), 6, volatility=0.02, seed=3)
+        b = drift_series(ibm_mumbai(), 6, volatility=0.02, seed=3)
+        assert [backend_to_json(s) for s in a] == [backend_to_json(s) for s in b]
+
+    def test_seed_changes_the_walk(self):
+        a = drift_series(ibm_mumbai(), 4, seed=3)
+        b = drift_series(ibm_mumbai(), 4, seed=4)
+        assert backend_to_json(a[1]) != backend_to_json(b[1])
+
+    def test_first_element_is_day_zero(self):
+        backend = ibm_mumbai()
+        series = drift_series(backend, 3)
+        assert backend_to_json(series[0]) == backend_to_json(backend)
+
+    def test_steps_actually_drift(self):
+        series = drift_series(ibm_mumbai(), 3, volatility=0.05, seed=1)
+        assert backend_to_json(series[0]) != backend_to_json(series[1])
+        assert backend_to_json(series[1]) != backend_to_json(series[2])
+
+    def test_source_backend_never_mutates(self):
+        backend = ibm_mumbai()
+        before = backend_to_json(backend)
+        drift_series(backend, 5, volatility=0.1, seed=2)
+        assert backend_to_json(backend) == before
+
+    def test_durations_and_topology_stay_fixed(self):
+        backend = get_device("grid36")
+        for snapshot in drift_series(backend, 5, volatility=0.1, seed=9):
+            assert snapshot.coupling.edges == backend.coupling.edges
+            assert snapshot.calibration.cx_duration == (
+                backend.calibration.cx_duration
+            )
+            assert snapshot.calibration.measure_duration == (
+                backend.calibration.measure_duration
+            )
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(HardwareError):
+            drift_series(ibm_mumbai(), 0)
+
+
+class TestDriftClamps:
+    def test_max_drift_bounds_the_excursion(self):
+        backend = ibm_mumbai()
+        start = dict(backend.calibration.cx_error)
+        simulator = DriftSimulator(backend, volatility=0.5, seed=5, max_drift=2.0)
+        for _ in range(50):
+            snapshot = simulator.step()
+        for edge, value in snapshot.calibration.cx_error.items():
+            assert start[edge] / 2.0 <= value <= start[edge] * 2.0
+
+    def test_errors_stay_probabilities(self):
+        # violent drift with a huge allowed excursion: the 0.5 cap holds
+        simulator = DriftSimulator(
+            ibm_mumbai(), volatility=1.0, seed=6, max_drift=1e6
+        )
+        for _ in range(20):
+            snapshot = simulator.step()
+        calibration = snapshot.calibration
+        for mapping in (
+            calibration.cx_error,
+            calibration.readout_error,
+            calibration.sq_error,
+        ):
+            assert all(0.0 < value <= 0.5 for value in mapping.values())
+
+    def test_t2_never_exceeds_twice_t1(self):
+        simulator = DriftSimulator(
+            ibm_mumbai(), volatility=0.5, seed=8, max_drift=1e6
+        )
+        for _ in range(20):
+            snapshot = simulator.step()
+        calibration = snapshot.calibration
+        for qubit, t2 in calibration.t2_dt.items():
+            assert t2 <= 2.0 * calibration.t1_dt[qubit]
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(HardwareError):
+            DriftSimulator(ibm_mumbai(), volatility=-0.1)
+        with pytest.raises(HardwareError):
+            DriftSimulator(ibm_mumbai(), max_drift=0.5)

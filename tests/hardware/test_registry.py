@@ -1,0 +1,126 @@
+"""Device registry: large heavy-hex generators and named profiles."""
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    DeviceProfile,
+    MUMBAI_SEED,
+    backend_to_json,
+    device_names,
+    device_profile,
+    eagle_127,
+    get_device,
+    heavy_hex_rows,
+    ibm_mumbai,
+    line,
+    osprey_433,
+    register_device,
+)
+
+
+class TestHeavyHexRows:
+    def test_eagle_hits_published_count(self):
+        coupling = eagle_127()
+        assert coupling.num_qubits == 127
+        assert coupling.is_connected()
+        assert coupling.max_degree() == 3
+
+    def test_osprey_hits_published_count(self):
+        coupling = osprey_433()
+        assert coupling.num_qubits == 433
+        assert coupling.is_connected()
+        assert coupling.max_degree() == 3
+
+    def test_untrimmed_lattice_is_connected_heavy(self):
+        coupling = heavy_hex_rows(4, 11)
+        assert coupling.is_connected()
+        assert coupling.max_degree() == 3
+        # 4 chains of 11 + rungs: gaps alternate offsets 0 and 2
+        assert coupling.num_qubits == 4 * 11 + (3 + 3 + 3)
+
+    def test_trim_drops_highest_rungs_contiguously(self):
+        trimmed = heavy_hex_rows(4, 11, trim=2)
+        assert trimmed.num_qubits == heavy_hex_rows(4, 11).num_qubits - 2
+        assert trimmed.is_connected()
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(HardwareError):
+            heavy_hex_rows(0, 11)
+        with pytest.raises(HardwareError):
+            heavy_hex_rows(3, 2)
+        with pytest.raises(HardwareError):
+            heavy_hex_rows(3, 11, trim=999)
+
+
+class TestDeviceRegistry:
+    def test_catalogue_contains_the_zoo(self):
+        names = device_names()
+        for expected in (
+            "ibm_mumbai",
+            "eagle127",
+            "osprey433",
+            "grid36",
+            "grid64",
+            "iontrap32",
+            "iontrap56",
+        ):
+            assert expected in names
+
+    def test_backends_are_deterministic(self):
+        assert backend_to_json(get_device("eagle127")) == backend_to_json(
+            get_device("eagle127")
+        )
+
+    def test_mumbai_profile_matches_legacy_constructor(self):
+        # the registry entry must be a drop-in for repro.hardware.ibm_mumbai
+        # up to the snapshot name
+        registry = get_device("ibm_mumbai")
+        legacy = ibm_mumbai()
+        assert device_profile("ibm_mumbai").seed == MUMBAI_SEED
+        assert registry.coupling.edges == legacy.coupling.edges
+        assert registry.calibration.cx_error == legacy.calibration.cx_error
+        assert registry.calibration.t1_dt == legacy.calibration.t1_dt
+
+    def test_ion_trap_profile_is_slow_but_coherent(self):
+        ion = get_device("iontrap32")
+        sc = get_device("ibm_mumbai")
+        assert ion.coupling.max_degree() == 31  # all-to-all
+        assert min(ion.calibration.cx_duration.values()) > max(
+            sc.calibration.cx_duration.values()
+        )
+        assert min(ion.calibration.t1_dt.values()) > max(
+            sc.calibration.t1_dt.values()
+        )
+        assert ion.calibration.measure_duration > sc.calibration.measure_duration
+
+    def test_unknown_device_raises_with_catalogue(self):
+        with pytest.raises(HardwareError, match="ibm_mumbai"):
+            device_profile("no_such_device")
+
+    def test_duplicate_registration_raises(self):
+        profile = DeviceProfile(
+            name="ibm_mumbai",
+            family="heavy-hex",
+            description="imposter",
+            coupling_factory=lambda: line(3),
+            seed=1,
+        )
+        with pytest.raises(HardwareError):
+            register_device(profile)
+
+    def test_replace_registration_is_explicit_and_scoped(self):
+        original = device_profile("grid36")
+        replacement = DeviceProfile(
+            name="grid36",
+            family="square-grid",
+            description="temporary override",
+            coupling_factory=lambda: line(4),
+            seed=2,
+        )
+        try:
+            register_device(replacement, replace=True)
+            assert device_profile("grid36").description == "temporary override"
+        finally:
+            register_device(original, replace=True)
+        assert device_profile("grid36") is original

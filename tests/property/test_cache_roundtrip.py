@@ -29,9 +29,29 @@ FIELDS = [
     "reuse_beneficial",
     "qubit_saving",
 ]
-# route_stats counters/gauges are deterministic across cold runs; its
-# *timers* are wall-clock, so they are only pinned warm-vs-primed (the
-# warm entry must replay the exact run that populated the cache)
+# route_stats/eval_stats/sim_stats counters and gauges are deterministic
+# across cold runs; their *timers* are wall-clock, so they are only
+# pinned warm-vs-primed (the warm entry must replay the exact run that
+# populated the cache)
+
+#: (field, has a gauge/values dict) — the per-domain stats riding on the
+#: report since schema v3
+STATS_FIELDS = [("route_stats", True), ("eval_stats", False), ("sim_stats", True)]
+
+
+def _assert_stats_field(report, cold, field, has_values, context):
+    cold_stats = getattr(cold, field)
+    got = getattr(report, field)
+    if cold_stats is None:
+        assert got is None, f"{context}: {field} appeared from nowhere"
+        return
+    assert got.counters == cold_stats.counters, (
+        f"{context}: {field} counters drifted"
+    )
+    if has_values:
+        assert got.values == cold_stats.values, (
+            f"{context}: {field} gauges drifted"
+        )
 
 
 def _sample_circuit(seed: int):
@@ -70,17 +90,12 @@ def _assert_warm_equals_cold(target, context, service=None, **knobs):
             assert getattr(report, name) == getattr(cold, name), (
                 f"{context}: {label} field {name!r} drifted"
             )
-        if cold.route_stats is None:
-            assert report.route_stats is None, context
-        else:
-            assert report.route_stats.counters == cold.route_stats.counters, (
-                f"{context}: {label} route counters drifted"
-            )
-            assert report.route_stats.values == cold.route_stats.values, (
-                f"{context}: {label} route gauges drifted"
-            )
+        for field, has_values in STATS_FIELDS:
+            _assert_stats_field(report, cold, field, has_values, f"{context}: {label}")
     # the warm report replays the primed run exactly, timers included
     assert warm.route_stats == primed.route_stats, context
+    assert warm.eval_stats == primed.eval_stats, context
+    assert warm.sim_stats == primed.sim_stats, context
 
 
 @pytest.mark.parametrize("seed", range(CACHE_SAMPLES))
@@ -128,6 +143,72 @@ def test_min_swap_roundtrip():
     )
 
 
+def _pinned_in_band_backend(wiggle):
+    """A Mumbai snapshot whose banded values sit at band centres * wiggle.
+
+    With ``calib_bands=2`` a band spans ~3.16x, so any wiggle below
+    1.78x provably stays inside the band — the snapshots differ exactly,
+    agree banded.
+    """
+    from repro.service import band_value
+
+    backend = ibm_mumbai()
+    calibration = backend.calibration
+    for mapping in (
+        calibration.cx_error,
+        calibration.readout_error,
+        calibration.sq_error,
+        calibration.t1_dt,
+        calibration.t2_dt,
+    ):
+        for key, value in mapping.items():
+            centre = 10.0 ** ((band_value(value, 2) + 0.5) / 2)
+            mapping[key] = centre * wiggle
+    return backend
+
+
+@pytest.mark.parametrize("seed", range(0, CACHE_SAMPLES, 10))
+def test_banded_warm_hit_is_indistinguishable(seed):
+    """A warm hit served across in-band calibration drift must be
+    field-for-field identical to the report that populated the entry —
+    banding may only ever *reuse* a decision, never alter one."""
+    circuit = _sample_circuit(seed)
+    service = CompileService()
+    day_zero = _pinned_in_band_backend(1.0)
+    drifted = _pinned_in_band_backend(1.0 + 0.02 * (1 + seed % 5))
+    primed = service.compile(
+        circuit, backend=day_zero, mode="min_swap", calib_bands=2
+    )
+    warm = service.compile(
+        circuit, backend=drifted, mode="min_swap", calib_bands=2
+    )
+    assert primed.from_cache is False, f"seed={seed}"
+    assert warm.from_cache is True, (
+        f"seed={seed}: in-band drift must not miss under banding"
+    )
+    assert warm.circuit.data == primed.circuit.data, f"seed={seed}"
+    for name in FIELDS:
+        assert getattr(warm, name) == getattr(primed, name), (
+            f"seed={seed}: banded warm field {name!r} drifted"
+        )
+    assert warm.route_stats == primed.route_stats, f"seed={seed}"
+    assert warm.eval_stats == primed.eval_stats, f"seed={seed}"
+    assert warm.sim_stats == primed.sim_stats, f"seed={seed}"
+    # and the decision gate: a fresh compile of the drifted snapshot
+    # produces the same instruction stream the banded hit served
+    fresh = caqr_compile(circuit, backend=drifted, mode="min_swap")
+    assert warm.circuit.data == fresh.circuit.data, (
+        f"seed={seed}: banding changed a compile decision"
+    )
+    # exact digests miss on the same drift
+    exact = CompileService()
+    exact.compile(circuit, backend=day_zero, mode="min_swap", calib_bands=0)
+    exact_report = exact.compile(
+        circuit, backend=drifted, mode="min_swap", calib_bands=0
+    )
+    assert exact_report.from_cache is False, f"seed={seed}"
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", range(CACHE_SAMPLES, CACHE_SAMPLES + 20))
 def test_random_circuit_roundtrip_extended(seed):
@@ -148,11 +229,8 @@ def _assert_reports_match(remote, cold, context):
         assert getattr(remote, name) == getattr(cold, name), (
             f"{context}: field {name!r} drifted over the wire"
         )
-    if cold.route_stats is None:
-        assert remote.route_stats is None, context
-    else:
-        assert remote.route_stats.counters == cold.route_stats.counters, context
-        assert remote.route_stats.values == cold.route_stats.values, context
+    for field, has_values in STATS_FIELDS:
+        _assert_stats_field(remote, cold, field, has_values, context)
 
 
 @pytest.mark.parametrize("seed", range(0, CACHE_SAMPLES, 5))

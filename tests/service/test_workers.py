@@ -4,8 +4,13 @@ The protocol tests drive ``_worker_task`` in-process (no subprocess
 spawn) after resetting the worker-side decoded cache; the pool tests
 spawn a real (small) pool and exercise the crash/respawn drill and the
 need_record round trip; the service tests pin the contract that matters
-most — a pooled ``compile_batch`` is bit-identical to the serial path,
-in both ``persistent`` and ``ephemeral`` modes.
+most — a pooled ``compile_batch`` is identical to the serial path, in
+both ``persistent`` and ``ephemeral`` modes.  "Identical" means every
+compile output field-for-field; the stats *timer* maps riding on the
+report (``route_stats``/``eval_stats``/``sim_stats``) are wall-clock
+measurements and are normalised out before comparing two independent
+runs (they are only pinned warm-vs-primed, where the cache replays one
+run — see ``tests/property/test_cache_roundtrip.py``).
 """
 
 import pytest
@@ -19,7 +24,6 @@ from repro.service import (
     report_to_dict,
     resolve_workers_mode,
 )
-from repro.service.serialization import dumps_entry
 from repro.service.service import CompileRequest, _cold_compile
 from repro.service.workers import (
     DEFAULT_WORKERS_MODE,
@@ -30,6 +34,21 @@ from repro.service.workers import (
     _worker_task,
 )
 from repro.workloads import bv_circuit
+
+
+def _normalized(report_dict):
+    """Report dict with the wall-clock stats timer maps emptied."""
+    out = dict(report_dict)
+    for field in ("route_stats", "eval_stats", "sim_stats"):
+        stats = out.get(field)
+        if stats is not None:
+            out[field] = {**stats, "timers": {}}
+    return out
+
+
+def _entry_dict(text, fingerprint):
+    """Decode an entry (validating its stamped key) to a normalised dict."""
+    return _normalized(report_to_dict(loads_entry(text, key=fingerprint)))
 
 
 class TestWorkersMode:
@@ -93,10 +112,10 @@ class TestWorkerTaskProtocol:
         record = _encode_record(request)
         status, text = _worker_task(("entry", fingerprint, record, None))
         assert status == "ok"
-        expected = dumps_entry(
-            fingerprint, _cold_compile(request, allow_parallel=False)
-        )
-        assert text == expected, "pooled entry must be bit-identical to serial"
+        serial = _cold_compile(request, allow_parallel=False)
+        assert _entry_dict(text, fingerprint) == _normalized(
+            report_to_dict(serial)
+        ), "pooled entry must match serial up to wall-clock stats timers"
 
     def test_warm_lane_needs_no_record(self):
         request = CompileRequest(target=bv_circuit(4))
@@ -105,7 +124,11 @@ class TestWorkerTaskProtocol:
         _, first = _worker_task(("entry", fingerprint, record, None))
         status, second = _worker_task(("entry", fingerprint, None, None))
         assert status == "ok"
-        assert second == first
+        # the warm lane skips the record ship, not the (deterministic)
+        # compile — so the entries match up to wall-clock stats timers
+        assert _entry_dict(second, fingerprint) == _entry_dict(
+            first, fingerprint
+        )
 
     def test_ping_answers_pid(self):
         status, pid = _worker_task(("ping", "", None, None))
@@ -152,7 +175,9 @@ class TestWorkerPool:
             # the lane is warm: a re-dispatch ships nothing and matches
             pool._shipped[fingerprint] = pool.max_workers
             [again] = pool.run([("entry", fingerprint, request, None)])
-            assert again == text
+            assert _entry_dict(again, fingerprint) == _entry_dict(
+                text, fingerprint
+            )
             assert stats.counters["worker_record_misses"] == 1
             assert stats.counters["worker_records_shipped"] == 1
         finally:
@@ -174,7 +199,7 @@ class TestWorkerPool:
 
 class TestServiceIntegration:
     def _batch_dicts(self, reports):
-        return [report_to_dict(report) for report in reports]
+        return [_normalized(report_to_dict(report)) for report in reports]
 
     def test_persistent_batch_matches_serial_and_reuses_the_pool(self):
         requests = [CompileRequest(target=bv_circuit(n)) for n in (4, 5, 6)]
@@ -185,7 +210,7 @@ class TestServiceIntegration:
             fast = self._batch_dicts(
                 pooled.compile_batch(requests, parallel=True, max_workers=2)
             )
-            assert fast == base, "pooled batch must be bit-identical to serial"
+            assert fast == base, "pooled batch must match the serial path"
             assert pooled.stats.counters["worker_pool_spawns"] == 1
             assert pooled.stats.counters["worker_tasks"] >= 3
             # a second dispatch reuses the same pool generation
