@@ -10,6 +10,9 @@ CLI section mirrors these and ``tests/test_docs.py`` parses both)::
     python -m repro compile bv_20 --cache --calib-bands 2   # drift-banded key
     python -m repro compile bv_20 --server http://127.0.0.1:8787
     python -m repro compile bv_5 --strategy portfolio --objective qubits
+    python -m repro compile bv_10 --strategy chain
+    python -m repro compile bv_10 --strategy chain --backend iontrap32 \
+        --mode min_swap
     python -m repro compile bv_20 --backend eagle127 --mode min_swap
     python -m repro backends                       # list the device registry
     python -m repro drift-replay bv_5 --device ibm_mumbai --steps 12 --bands 2
@@ -391,16 +394,18 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument(
         "--strategy",
         default="auto",
-        choices=["auto", "portfolio"],
+        choices=["auto", "portfolio", "chain"],
         help="'portfolio' races every engine (plus the exact oracle on "
-        "small circuits) and keeps the objective-best result",
+        "small circuits) and keeps the objective-best result; 'chain' "
+        "runs the beam-searched chain engine (dual-register trapped-ion "
+        "cost model on all-to-all backends)",
     )
     compile_parser.add_argument(
         "--objective",
         default=None,
         choices=["qubits", "depth", "est_error"],
-        help="portfolio winner criterion (est_error needs --backend); "
-        "only valid with --strategy portfolio",
+        help="winner criterion (est_error needs --backend); only valid "
+        "with --strategy portfolio or chain",
     )
     compile_parser.add_argument("--output", default=None, help="write QASM here")
     compile_parser.add_argument(

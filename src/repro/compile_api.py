@@ -16,6 +16,7 @@ import networkx as nx
 
 from repro.analysis.metrics import CircuitMetrics, collect_metrics
 from repro.circuit.circuit import QuantumCircuit
+from repro.core.chains import ChainReuse
 from repro.core.profile import ReuseEvalStats
 from repro.core.qs_caqr import QSCaQR
 from repro.core.qs_commuting import QSCaQRCommuting
@@ -79,6 +80,11 @@ class CompileReport:
             (``False`` means the anytime budget cut the search short and
             the bound is best-so-far, not proven); ``None`` when the
             exact tier was not in the race.
+        chain_stats: the chain engine's counter/timer sink
+            (``strategy="chain"`` or a portfolio chain lane): window
+            counts, beam sizes, inserted measure/reset tallies, greedy
+            fallbacks.  Observability only, like ``eval_stats``.  Feeds
+            the ``caqr_chain_*`` prefix on ``GET /v1/metrics``.
     """
 
     circuit: QuantumCircuit
@@ -96,6 +102,7 @@ class CompileReport:
     strategy_errors: Optional[Dict[str, str]] = None
     optimality_gap: Optional[int] = None
     exact_optimal: Optional[bool] = None
+    chain_stats: Optional[ReuseEvalStats] = None
 
 
 def caqr_compile(
@@ -150,10 +157,16 @@ def caqr_compile(
             the exact branch-and-bound tier on small circuits — and
             returns the objective-best result (see
             :class:`~repro.service.portfolio.PortfolioCompileService`
-            and ``docs/PORTFOLIO.md``).
-        objective: the portfolio's winner criterion — ``"qubits"``
-            (default), ``"depth"``, or ``"est_error"`` (needs a
-            backend).  Only valid with ``strategy="portfolio"``.
+            and ``docs/PORTFOLIO.md``); ``"chain"`` runs the
+            beam-searched reuse-chain engine
+            (:class:`~repro.core.chains.ChainReuse`, circuit targets
+            only — see ``docs/CHAINS.md``), which discovers whole chains
+            jointly, is never wider than greedy QS, and switches to the
+            trapped-ion dual-register cost model on all-to-all backends.
+        objective: the winner criterion — ``"qubits"`` (default),
+            ``"depth"``, or ``"est_error"`` (``"est_error"`` needs a
+            backend under ``"portfolio"``).  Valid with
+            ``strategy="portfolio"`` or ``strategy="chain"``.
         portfolio_workers: process-pool width for the portfolio race
             (``None`` uses the process-wide default service).  An engine
             knob: never changes the winning result, only how fast the
@@ -165,10 +178,10 @@ def caqr_compile(
             Only meaningful with ``cache``: it changes which snapshots
             share an entry, never the compiled output.
     """
-    if strategy not in ("auto", "portfolio"):
+    if strategy not in ("auto", "portfolio", "chain"):
         raise ReuseError(f"unknown compile strategy {strategy!r}")
-    if objective is not None and strategy != "portfolio":
-        raise ReuseError("objective requires strategy='portfolio'")
+    if objective is not None and strategy not in ("portfolio", "chain"):
+        raise ReuseError("objective requires strategy='portfolio' or 'chain'")
     if cache:
         from repro.service.service import resolve_cache
 
@@ -219,6 +232,16 @@ def caqr_compile(
             if ephemeral_service is not None:
                 # a one-call service must not leak its worker pool
                 ephemeral_service.close()
+    if strategy == "chain":
+        return _chain_compile(
+            target,
+            backend=backend,
+            mode=mode,
+            qubit_limit=qubit_limit,
+            reset_style=reset_style,
+            seed=seed,
+            objective=objective,
+        )
     angles = None
     if (
         auto_commuting
@@ -358,6 +381,84 @@ def caqr_compile(
         qubit_saving=1.0 - point.qubits / original_width,
         eval_stats=eval_stats,
         sim_stats=_esp_stats(point.circuit, backend),
+    )
+
+
+def _all_to_all(backend) -> bool:
+    """Whether *backend*'s coupling is complete (the trapped-ion regime)."""
+    n = backend.coupling.num_qubits
+    return len(backend.coupling.edges) == n * (n - 1) // 2
+
+
+def _chain_compile(
+    target,
+    backend,
+    mode,
+    qubit_limit,
+    reset_style,
+    seed,
+    objective,
+) -> CompileReport:
+    """The ``strategy="chain"`` pipeline: beam-searched reuse chains.
+
+    All four compile modes map onto the chain engine: ``max_reuse`` /
+    ``min_depth`` merge to exhaustion under the matching-floor-guided
+    beam, ``qubit_budget`` stops merging the moment the budget fits
+    (fewest inserted dynamic ops that reach it), and ``min_swap``
+    compiles the chain plan and routes it onto the backend.  On an
+    all-to-all backend the engine switches to the dual-register
+    trapped-ion cost model: routing is free there, so the objective
+    becomes minimising the mid-circuit measure/reset count the reuse
+    inserts (see ``docs/CHAINS.md``).
+    """
+    if isinstance(target, nx.Graph):
+        raise ReuseError(
+            "strategy='chain' needs a QuantumCircuit target "
+            "(build the QAOA circuit first)"
+        )
+    if mode not in ("max_reuse", "min_depth", "qubit_budget", "min_swap"):
+        raise ReuseError(f"unknown compile mode {mode!r}")
+    if mode == "min_swap" and backend is None:
+        raise ReuseError("min_swap mode needs a backend")
+    chain_stats = ReuseEvalStats()
+    dual = backend is not None and _all_to_all(backend)
+    chain_objective = objective or ("depth" if mode == "min_depth" else "qubits")
+    budget = None
+    if mode == "qubit_budget":
+        if qubit_limit is None:
+            raise ReuseError("qubit_budget mode needs qubit_limit")
+        budget = qubit_limit
+    engine = ChainReuse(
+        objective=chain_objective,
+        reset_style=reset_style,
+        register_budget=budget,
+        dual_register=dual,
+        stats=chain_stats,
+    )
+    result = engine.run(target)
+    if budget is not None and not result.feasible:
+        raise ReuseError(
+            f"cannot compile to {qubit_limit} qubits (reached {result.qubits})"
+        )
+    logical = result.circuit
+    compiled = (
+        transpile(logical, backend, optimization_level=3, seed=seed).circuit
+        if backend is not None
+        else logical
+    )
+    metrics = collect_metrics(
+        compiled, backend.calibration if backend else None
+    )
+    return CompileReport(
+        circuit=compiled,
+        mode=mode,
+        metrics=metrics,
+        baseline_metrics=_baseline_metrics(target, backend, seed),
+        reuse_beneficial=bool(result.pairs),
+        qubit_saving=1.0 - result.qubits / target.num_qubits,
+        sim_stats=_esp_stats(compiled, backend),
+        strategy="chain",
+        chain_stats=chain_stats,
     )
 
 

@@ -35,8 +35,10 @@ from repro.core.profile import (
     profile_circuit,
     profile_graph,
 )
+from repro.core.chains import ChainPlan, ChainReuse, ChainReuseResult
 from repro.core.exact import ExactReuse, ExactReuseResult, exact_minimum_qubits
 from repro.core.qs_caqr import QSCaQR, QSCaQRResult
+from repro.core.windows import ReuseWindow, WindowAnalysis
 from repro.core.session import ReuseSession
 from repro.core.qs_commuting import (
     CommutingSchedule,
@@ -83,6 +85,11 @@ __all__ = [
     "ExactReuse",
     "ExactReuseResult",
     "exact_minimum_qubits",
+    "ReuseWindow",
+    "WindowAnalysis",
+    "ChainPlan",
+    "ChainReuse",
+    "ChainReuseResult",
     "lifetime_schedule",
     "lifetime_minimum_qubits",
     "vertex_separation_order",

@@ -195,6 +195,7 @@ class SRCaQR:
         qs_assist: bool = True,
         objective: str = "swaps",
         parallel: Optional[bool] = None,
+        seed_base: Optional[int] = None,
     ) -> SRCaQRResult:
         """Compile *circuit* onto the backend with lazy mapping and reuse.
 
@@ -218,6 +219,13 @@ class SRCaQR:
         pool.  Cells are reduced in grid order with a strict ``<`` on the
         objective key, so the parallel sweep selects the exact result the
         serial sweep would.
+
+        *seed_base* anchors the hint-seed stream (default 17): callers
+        racing several SR variants over the same circuit can hand each
+        lane a distinct base so the lanes explore distinct placement
+        streams instead of re-deriving the same seeds.  The hint-less
+        first trial is kept regardless, so any base still covers the
+        no-hint baseline.
         """
         if objective not in ("swaps", "esp"):
             raise ReuseError(f"unknown SR objective {objective!r}")
@@ -244,8 +252,9 @@ class SRCaQR:
                 )
             return (result.swap_count, result.duration_dt)
 
+        base = 17 if seed_base is None else int(seed_base)
         seeds: List[Optional[int]] = [None] + [
-            17 + 24 * t for t in range(trials - 1)
+            base + 24 * t for t in range(trials - 1)
         ]
         grid = [
             (candidate, seed) for candidate in candidates for seed in seeds

@@ -136,6 +136,7 @@ class SRCaQRCommuting:
         qubit_limit: Optional[int] = None,
         objective: str = "swaps",
         trials: int = 3,
+        seed_base: Optional[int] = None,
     ) -> SRCommutingResult:
         """Compile the QAOA circuit for *graph* with reuse-aware routing.
 
@@ -150,6 +151,8 @@ class SRCaQRCommuting:
                 such as the Figs. 15-16 convergence experiments.
             trials: hint-seed trials per SR candidate (forwarded to the
                 router's candidate × seed grid).
+            seed_base: anchor of the router's hint-seed stream (forwarded
+                to :meth:`SRCaQR.run`; ``None`` keeps the default).
         """
         if objective not in ("swaps", "esp"):
             raise ReuseError(f"unknown SR objective {objective!r}")
@@ -167,7 +170,7 @@ class SRCaQRCommuting:
                     f"cannot reach {qubit_limit} qubits "
                     f"(floor is {qs.minimum_qubits()})"
                 )
-            routed = router.run(point.circuit, trials=trials)
+            routed = router.run(point.circuit, trials=trials, seed_base=seed_base)
             return SRCommutingResult(result=routed, qs_point=point, pairs=point.pairs)
 
         # SWAP reduction is the primary goal (Section 3.3); the imposed
@@ -196,7 +199,7 @@ class SRCaQRCommuting:
         best: Optional[SRCommutingResult] = None
         best_key = None
         for point in candidates.values():
-            routed = router.run(point.circuit, trials=trials)
+            routed = router.run(point.circuit, trials=trials, seed_base=seed_base)
             candidate = SRCommutingResult(
                 result=routed, qs_point=point, pairs=point.pairs
             )

@@ -1,0 +1,421 @@
+"""Gate-level reuse windows: per-qubit liveness and chain compatibility.
+
+The greedy QS/SR engines and the exact oracle all reason about reuse at
+whole-qubit-lifetime granularity: a qubit is "done" only after its last
+gate, and candidate pairs are re-derived from a materialised circuit at
+every step.  Rovara/Burgholzer/Wille ("Qubit Reuse Beyond Reorder and
+Reset", arXiv:2511.22712) and Fang et al. ("Dynamic quantum circuit
+compilation", arXiv:2310.11021) recast the problem in terms of *windows*:
+the interval of schedule layers during which a qubit actually carries
+state.  A qubit whose window closes mid-circuit frees its wire for any
+qubit whose window has not yet opened — and that interval view both
+exposes *why* a pair is compatible and gives a cheap sound prune that
+skips the dependency-matrix scan for most pairs.
+
+This module is the analysis half of the chain subsystem
+(:mod:`repro.core.chains` is the search half):
+
+* :class:`ReuseWindow` — one qubit's liveness record: birth/death ASAP
+  layers, instruction span, whether it dies *mid-circuit* (before the
+  final layer), and whether its last op is a terminal measurement (which
+  :func:`~repro.core.transform.apply_reuse_pair` reuses instead of
+  inserting a fresh one — the lever the dual-register cost model pulls).
+* :class:`WindowAnalysis` — computes every window from the dependency
+  DAG, answers the pair-level compatibility question with the interval
+  prune in front of the reachability test, and lifts both CaQR validity
+  conditions to whole *chains* of merged windows (the same abstract
+  wire-state formulation :mod:`repro.core.exact` searches exhaustively,
+  exposed here so a beam search can reuse it without materialising
+  circuits).
+
+Windows are *measure/reset-aware*: a terminal measurement belongs to the
+window (death layer includes it), resets and mid-circuit measurements
+are counted per window, and the terminal-measure flag feeds the
+trapped-ion cost model where measure/reset time dominates everything
+else.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.conditions import ReusePair
+from repro.core.matching import max_bipartite_matching_size
+from repro.dag.dagcircuit import DAGCircuit
+from repro.dag.reachability import qubit_dependency_matrix
+from repro.exceptions import ReuseError
+
+__all__ = ["ReuseWindow", "WindowAnalysis", "Chain", "State"]
+
+#: One physical wire's occupancy: the ordered original qubits sharing it.
+Chain = Tuple[int, ...]
+#: An abstract merge state: one chain per live wire.
+State = Tuple[Chain, ...]
+
+
+@dataclass(frozen=True)
+class ReuseWindow:
+    """Liveness interval of one qubit.
+
+    Attributes:
+        qubit: the wire index in the analysed circuit.
+        first_index: position in ``circuit.data`` of the qubit's first
+            instruction (``-1`` for an idle wire).
+        last_index: position of its last instruction (``-1`` if idle).
+        birth_layer: ASAP schedule layer of the first instruction.
+        death_layer: ASAP layer of the last instruction — the layer the
+            wire becomes free for a not-yet-born window.
+        num_ops: instructions touching the qubit.
+        mid_circuit_ops: measure/reset instructions *before* the last
+            instruction (pre-existing dynamic operations on the window).
+        terminal_measure: the last instruction is an unconditioned
+            ``measure`` on exactly this qubit — a reuse of this window
+            as a *source* inserts no new measurement.
+        total_layers: ASAP depth of the whole circuit, so the record is
+            self-contained for mid-circuit classification.
+    """
+
+    qubit: int
+    first_index: int
+    last_index: int
+    birth_layer: int
+    death_layer: int
+    num_ops: int
+    mid_circuit_ops: int
+    terminal_measure: bool
+    total_layers: int
+
+    @property
+    def used(self) -> bool:
+        """Whether any instruction touches this wire."""
+        return self.num_ops > 0
+
+    @property
+    def dies_mid_circuit(self) -> bool:
+        """The window closes strictly before the circuit's final layer.
+
+        This is the gate-level refinement the whole subsystem is built
+        on: such a wire is idle for ``total_layers - 1 - death_layer``
+        layers, room another qubit's window can occupy.
+        """
+        return self.used and self.death_layer < self.total_layers - 1
+
+    @property
+    def span_layers(self) -> int:
+        """Layers the window occupies (0 for an idle wire)."""
+        return self.death_layer - self.birth_layer + 1 if self.used else 0
+
+    @property
+    def tail_slack(self) -> int:
+        """Idle layers between this window's death and circuit end."""
+        if not self.used:
+            return self.total_layers
+        return self.total_layers - 1 - self.death_layer
+
+
+class WindowAnalysis:
+    """Window liveness plus pair- and chain-level compatibility.
+
+    One analysis is computed per circuit and shared by every query: the
+    interaction sets (Condition 1), the qubit dependency matrix
+    (Condition 2), the per-qubit windows, and the structural symmetry
+    classes used to intern chain states.
+    """
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.circuit = circuit
+        self.num_qubits = circuit.num_qubits
+        dag = DAGCircuit.from_circuit(circuit)
+        self._interacts: Dict[int, Set[int]] = {
+            q: set() for q in range(circuit.num_qubits)
+        }
+        for instruction in circuit.data:
+            if len(instruction.qubits) < 2:
+                continue
+            for a in instruction.qubits:
+                for b in instruction.qubits:
+                    if a != b:
+                        self._interacts[a].add(b)
+        self._dep = qubit_dependency_matrix(dag)
+        self._used: Set[int] = set(circuit.used_qubits())
+        self.windows: List[ReuseWindow] = self._build_windows(circuit, dag)
+        self._class_of = self._symmetry_classes(circuit)
+
+    # -- liveness ---------------------------------------------------------------
+
+    @staticmethod
+    def _build_windows(
+        circuit: QuantumCircuit, dag: DAGCircuit
+    ) -> List[ReuseWindow]:
+        node_layer: Dict[int, int] = {}
+        total_layers = 0
+        for layer_index, layer in enumerate(dag.layers()):
+            total_layers = layer_index + 1
+            for node_id in layer:
+                node_layer[node_id] = layer_index
+        indices = circuit.qubit_instruction_indices()
+        windows: List[ReuseWindow] = []
+        for q in range(circuit.num_qubits):
+            data_indices = indices[q]
+            nodes = dag.nodes_on_qubit(q)
+            if not data_indices:
+                windows.append(
+                    ReuseWindow(
+                        qubit=q,
+                        first_index=-1,
+                        last_index=-1,
+                        birth_layer=-1,
+                        death_layer=-1,
+                        num_ops=0,
+                        mid_circuit_ops=0,
+                        terminal_measure=False,
+                        total_layers=total_layers,
+                    )
+                )
+                continue
+            layers_of_q = [node_layer[n] for n in nodes]
+            last = dag.nodes[nodes[-1]].instruction
+            terminal_measure = (
+                last is not None
+                and last.name == "measure"
+                and last.qubits == (q,)
+                and last.condition is None
+            )
+            mid_circuit_ops = sum(
+                1
+                for n in nodes[:-1]
+                if dag.nodes[n].instruction is not None
+                and dag.nodes[n].instruction.name in ("measure", "reset")
+            )
+            windows.append(
+                ReuseWindow(
+                    qubit=q,
+                    first_index=data_indices[0],
+                    last_index=data_indices[-1],
+                    birth_layer=min(layers_of_q),
+                    death_layer=max(layers_of_q),
+                    num_ops=len(data_indices),
+                    mid_circuit_ops=mid_circuit_ops,
+                    terminal_measure=terminal_measure,
+                    total_layers=total_layers,
+                )
+            )
+        return windows
+
+    def window(self, qubit: int) -> ReuseWindow:
+        """The liveness window of *qubit*."""
+        if not 0 <= qubit < self.num_qubits:
+            raise ReuseError(
+                f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+            )
+        return self.windows[qubit]
+
+    def mid_circuit_windows(self) -> List[ReuseWindow]:
+        """Windows that die before the circuit's final layer, by death."""
+        dying = [w for w in self.windows if w.dies_mid_circuit]
+        return sorted(dying, key=lambda w: (w.death_layer, w.qubit))
+
+    # -- pair-level compatibility ------------------------------------------------
+
+    def _d0(self, a: int, b: int) -> bool:
+        return self._dep.get((a, b), False)
+
+    def compatible(self, source: int, target: int) -> bool:
+        """Can *target*'s window replay on *source*'s wire after it dies?
+
+        This is exactly the paper's pair validity (Conditions 1 and 2)
+        expressed in window terms, with the reachability scan pruned by
+        the liveness intervals: when the target window is born strictly
+        after the source window dies (``birth_layer > death_layer``), no
+        target op can precede a source op — an ASAP layer number is the
+        length of the longest dependency chain into the op, so a
+        dependency ``t -> s`` forces ``layer(t) < layer(s)``.  Only
+        overlapping windows pay for the dependency-matrix lookup.
+        """
+        if source == target:
+            return False
+        sw, tw = self.windows[source], self.windows[target]
+        if not sw.used or not tw.used:
+            return False
+        if target in self._interacts[source]:  # Condition 1
+            return False
+        if tw.birth_layer > sw.death_layer:  # interval prune
+            return True
+        return not self._d0(target, source)  # Condition 2
+
+    def compatible_pairs(self) -> List[ReusePair]:
+        """Every compatible ``(dying -> born)`` window pair."""
+        out: List[ReusePair] = []
+        for source in range(self.num_qubits):
+            for target in range(self.num_qubits):
+                if source != target and self.compatible(source, target):
+                    out.append(ReusePair(source, target))
+        return out
+
+    def matching_bound(self) -> int:
+        """Max merges any plan can perform, via Kuhn matching.
+
+        ``num_qubits - matching_bound()`` is a lower bound on the width
+        any legal sequence of reuse pairs can reach (merging only ever
+        shrinks the compatibility relation).
+        """
+        rows = [0] * self.num_qubits
+        for source in range(self.num_qubits):
+            for target in range(self.num_qubits):
+                if source != target and self.compatible(source, target):
+                    rows[source] |= 1 << target
+        return max_bipartite_matching_size(rows, self.num_qubits)
+
+    # -- chain-level compatibility ------------------------------------------------
+
+    def initial_state(self) -> State:
+        """The untouched state: every wire holds its own qubit."""
+        return tuple((q,) for q in range(self.num_qubits))
+
+    def _reach_matrix(self, wires: State) -> Dict[int, Set[int]]:
+        """``reach[y]`` = original qubits some op on *y*'s wire precedes.
+
+        Chain adjacency ``(a, b)`` is a measure/reset barrier: all ops
+        up to ``a`` precede it, all ops from ``b`` on follow it.  The
+        closure over the barrier digraph composes dependencies across
+        chains; see :mod:`repro.core.exact` for the derivation.
+        """
+        merges: List[Tuple[int, int]] = []
+        for chain in wires:
+            for i in range(len(chain) - 1):
+                merges.append((chain[i], chain[i + 1]))
+        k = len(merges)
+        closure: List[int] = [0] * k
+        if k:
+            adjacency: List[int] = [0] * k
+            for i, (_, released) in enumerate(merges):
+                for j, (retiring, _) in enumerate(merges):
+                    if i != j and (
+                        released == retiring or self._d0(released, retiring)
+                    ):
+                        adjacency[i] |= 1 << j
+            for i in range(k):
+                seen = 1 << i
+                stack = [i]
+                while stack:
+                    frontier = adjacency[stack.pop()] & ~seen
+                    while frontier:
+                        bit = frontier & -frontier
+                        frontier ^= bit
+                        seen |= bit
+                        stack.append(bit.bit_length() - 1)
+                closure[i] = seen
+            exits: List[Set[int]] = []
+            for _, released in merges:
+                out = {q for q in self._used if self._d0(released, q)}
+                out.add(released)
+                exits.append(out)
+        reach: Dict[int, Set[int]] = {}
+        for q in self._used:
+            row = {x for x in self._used if self._d0(q, x)}
+            for i, (retiring, _) in enumerate(merges):
+                if q == retiring or self._d0(q, retiring):
+                    mask = closure[i]
+                    while mask:
+                        bit = mask & -mask
+                        mask ^= bit
+                        row |= exits[bit.bit_length() - 1]
+            reach[q] = row
+        return reach
+
+    def chain_merges(self, wires: State) -> Tuple[List[Tuple[int, int]], List[int]]:
+        """All valid merges ``(source wire, target wire)`` in *wires*,
+        plus per-source target bitmasks for the matching bound.
+
+        Condition 1 lifts member-wise (no member of the source chain may
+        share a gate with a member of the target chain); Condition 2
+        lifts through the barrier closure of :meth:`_reach_matrix`.
+        """
+        reach = self._reach_matrix(wires)
+        active = [
+            index
+            for index, chain in enumerate(wires)
+            if all(q in self._used for q in chain)
+        ]
+        options: List[Tuple[int, int]] = []
+        rows = [0] * len(wires)
+        for u in active:
+            source_chain = wires[u]
+            for v in active:
+                if u == v:
+                    continue
+                target_chain = wires[v]
+                if any(
+                    b in self._interacts[a]
+                    for a in source_chain
+                    for b in target_chain
+                ):
+                    continue
+                if any(
+                    x in reach[y] for y in target_chain for x in source_chain
+                ):
+                    continue
+                options.append((u, v))
+                rows[u] |= 1 << v
+        return options, rows
+
+    @staticmethod
+    def merge(wires: State, u: int, v: int) -> State:
+        """Apply merge ``(u -> v)``: wire *v* is removed, its chain
+        appended to *u*'s, matching the qubit map of
+        :func:`~repro.core.transform.apply_reuse_pair`."""
+        merged = wires[u] + wires[v]
+        out = [chain for index, chain in enumerate(wires) if index != v]
+        out[u - (1 if u > v else 0)] = merged
+        return tuple(out)
+
+    def chain_floor(self, wires: State, rows: Optional[List[int]] = None) -> int:
+        """Optimistic width floor reachable from *wires*."""
+        if rows is None:
+            _, rows = self.chain_merges(wires)
+        return len(wires) - max_bipartite_matching_size(rows, len(wires))
+
+    # -- state interning -----------------------------------------------------------
+
+    def _symmetry_classes(self, circuit: QuantumCircuit) -> Dict[int, int]:
+        """Partition qubits into interchangeable structural classes
+        (identical windows, interaction sets, and dependency rows), so
+        states that differ only by a symmetric-qubit swap intern alike."""
+        ops = Counter(q for ins in circuit.data for q in ins.qubits)
+        qubits = list(range(circuit.num_qubits))
+
+        def swappable(q: int, r: int) -> bool:
+            return (
+                ops[q] == ops[r]
+                and (q in self._used) == (r in self._used)
+                and self._interacts[q] - {r} == self._interacts[r] - {q}
+                and self._d0(q, r) == self._d0(r, q)
+                and all(
+                    self._d0(q, s) == self._d0(r, s)
+                    and self._d0(s, q) == self._d0(s, r)
+                    for s in qubits
+                    if s != q and s != r
+                )
+            )
+
+        class_of: Dict[int, int] = {}
+        representatives: List[int] = []
+        for q in qubits:
+            for index, rep in enumerate(representatives):
+                if swappable(q, rep):
+                    class_of[q] = index
+                    break
+            else:
+                class_of[q] = len(representatives)
+                representatives.append(q)
+        return class_of
+
+    def canonical(self, wires: State) -> FrozenSet[Tuple[Chain, int]]:
+        """State key modulo wire order and symmetric-qubit identity."""
+        counts = Counter(
+            tuple(self._class_of[q] for q in chain) for chain in wires
+        )
+        return frozenset(counts.items())

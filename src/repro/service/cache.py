@@ -41,7 +41,7 @@ import os
 import tempfile
 import time
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ServiceError
 from repro.service.stats import ServiceStats
@@ -168,6 +168,16 @@ class DiskCache:
     survive; with a TTL, mtime doubles as the entry's age and is left
     alone, making eviction oldest-written first.  The freshly written
     entry itself is never evicted.
+
+    ``ttl_by_bands`` maps a ``calib_bands`` value (bands per decade; the
+    request's drift-banding knob) to its own TTL, overriding ``ttl`` for
+    lookups carrying that band count.  The point is a per-band aging
+    policy: a coarsely banded entry (fewer bands per decade — each band
+    spans *more* calibration drift) keeps serving through larger drifts,
+    so it should age out **faster** than an exact-digest entry, e.g.
+    ``ttl_by_bands={1: 600.0, 4: 3600.0}`` with ``ttl=None`` keeping
+    exact entries immortal.  Lookups with an unmapped or absent band
+    count fall back to ``ttl``.
     """
 
     def __init__(
@@ -177,6 +187,7 @@ class DiskCache:
         ttl: Optional[float] = None,
         max_entries_per_shard: Optional[int] = None,
         max_bytes_per_shard: Optional[int] = None,
+        ttl_by_bands: Optional[Mapping[int, float]] = None,
     ):
         if ttl is not None and ttl <= 0:
             raise ServiceError("disk cache needs ttl > 0 (or None)")
@@ -184,9 +195,20 @@ class DiskCache:
             raise ServiceError("disk cache needs max_entries_per_shard >= 1")
         if max_bytes_per_shard is not None and max_bytes_per_shard < 1:
             raise ServiceError("disk cache needs max_bytes_per_shard >= 1")
+        if ttl_by_bands is not None:
+            for bands, band_ttl in ttl_by_bands.items():
+                if int(bands) < 0:
+                    raise ServiceError("ttl_by_bands needs band counts >= 0")
+                if band_ttl <= 0:
+                    raise ServiceError("ttl_by_bands needs ttl values > 0")
         self.directory = os.path.abspath(os.path.expanduser(directory))
         self.stats = stats if stats is not None else ServiceStats()
         self.ttl = ttl
+        self.ttl_by_bands = (
+            {int(b): float(t) for b, t in ttl_by_bands.items()}
+            if ttl_by_bands
+            else {}
+        )
         self.max_entries_per_shard = max_entries_per_shard
         self.max_bytes_per_shard = max_bytes_per_shard
         os.makedirs(self.directory, exist_ok=True)
@@ -213,16 +235,35 @@ class DiskCache:
             return None
         return text
 
-    def _expired(self, path: str) -> bool:
-        if self.ttl is None:
+    def effective_ttl(self, bands: Optional[int] = None) -> Optional[float]:
+        """The TTL governing a lookup made with *bands* drift banding."""
+        if bands is not None:
+            band_ttl = self.ttl_by_bands.get(int(bands))
+            if band_ttl is not None:
+                return band_ttl
+        return self.ttl
+
+    def _expired(self, path: str, bands: Optional[int] = None) -> bool:
+        ttl = self.effective_ttl(bands)
+        if ttl is None:
             return False
         try:
-            return time.time() - os.path.getmtime(path) > self.ttl
+            return time.time() - os.path.getmtime(path) > ttl
         except OSError:
             return False
 
-    def get(self, key: str, shard: Optional[str] = None) -> Optional[str]:
-        """Return the entry text for *key*, dropping unreadable files."""
+    def get(
+        self,
+        key: str,
+        shard: Optional[str] = None,
+        bands: Optional[int] = None,
+    ) -> Optional[str]:
+        """Return the entry text for *key*, dropping unreadable files.
+
+        *bands* is the request's resolved ``calib_bands`` value; it
+        selects the per-band TTL (see ``ttl_by_bands``) and is otherwise
+        inert.
+        """
         path = self._path(key, shard)
         text = self._read(path)
         if text is None:
@@ -237,14 +278,14 @@ class DiskCache:
                 self.stats.count("migrated_entries")
             except OSError:
                 path = legacy  # best effort; serve the entry in place
-        if self._expired(path):
+        if self._expired(path, bands):
             self.stats.count("expired_entries")
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None
-        if self.ttl is None and (
+        if self.effective_ttl(bands) is None and (
             self.max_entries_per_shard or self.max_bytes_per_shard
         ):
             # refresh recency so the evictor is LRU, not oldest-written;
@@ -479,13 +520,21 @@ class TieredCache:
         self.memory = memory
         self.disk = disk
 
-    def get(self, key: str, shard: Optional[str] = None) -> Optional[str]:
-        """Probe memory then disk; promote disk hits into memory."""
+    def get(
+        self,
+        key: str,
+        shard: Optional[str] = None,
+        bands: Optional[int] = None,
+    ) -> Optional[str]:
+        """Probe memory then disk; promote disk hits into memory.
+
+        *bands* selects the disk tier's per-band TTL (``ttl_by_bands``).
+        """
         text = self.memory.get(key)
         if text is not None:
             return text
         if self.disk is not None:
-            text = self.disk.get(key, shard)
+            text = self.disk.get(key, shard, bands)
             if text is not None:
                 self.memory.put(key, text)
                 return text

@@ -153,6 +153,7 @@ _FAMILY_LABELS = {
     "backend_requests": "backend",
     "backend_errors": "backend",
     "backend_retries": "backend",
+    "batch_retries": "backend",
     "backend_latency": "backend",
     "backend_up": "backend",
     "marked_down": "backend",

@@ -882,18 +882,52 @@ class GatewayServer:
                 "requests": [member for _, member, _ in entries],
                 "parallel": parallel,
             }
+            sub_body = json.dumps(sub).encode()
             rk0 = entries[0][2]
             replicas = self._replicas_for(rk0)
             if replicas and replicas[0] != owner and owner in replicas:
                 # keep the placement owner first even if the ring moved
                 replicas = [owner] + [r for r in replicas if r != owner]
-            backend, status, resp_headers, resp_body = await self._forward(
-                replicas or [owner],
-                "POST",
-                "/v1/compile_batch",
-                fwd_headers,
-                json.dumps(sub).encode(),
-            )
+            backend: Optional[str] = None
+            status = 0
+            resp_headers: Dict[str, str] = {}
+            resp_body = b""
+            walk_error: Optional[_BackendDown] = None
+            try:
+                backend, status, resp_headers, resp_body = await self._forward(
+                    replicas or [owner],
+                    "POST",
+                    "/v1/compile_batch",
+                    fwd_headers,
+                    sub_body,
+                )
+            except _BackendDown as exc:
+                walk_error = exc
+            if walk_error is not None or status in _RETRY_STATUSES:
+                # the whole owner-first walk failed.  Re-resolve the ring
+                # (the prober may have marked the loser down by now) and
+                # retry the sub-batch once, skipping the backend that
+                # produced the failure, before surfacing the error.
+                retry = [r for r in self._replicas_for(rk0) if r != backend]
+                if retry:
+                    self.stats.count("batch_retries")
+                    self.stats.count(f"batch_retries:{retry[0]}")
+                    try:
+                        (
+                            backend,
+                            status,
+                            resp_headers,
+                            resp_body,
+                        ) = await self._forward(
+                            retry, "POST", "/v1/compile_batch", fwd_headers, sub_body
+                        )
+                    except _BackendDown:
+                        if walk_error is not None:
+                            raise
+                        # keep the original error reply: the retry only
+                        # upgrades the outcome, never degrades it
+                elif walk_error is not None:
+                    raise walk_error
             return entries, backend, status, resp_headers, resp_body
 
         try:

@@ -146,6 +146,7 @@ _REPORT_STAT_DOMAINS = (
     ("route", "route_stats"),
     ("sim", "sim_stats"),
     ("reuse_eval", "eval_stats"),
+    ("chain", "chain_stats"),
 )
 
 # dispatch result: (status, JSON payload or pre-encoded body bytes, extra headers)

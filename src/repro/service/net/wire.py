@@ -60,7 +60,8 @@ __all__ = [
 # the request envelope; the report record gained the portfolio fields
 # v3: calib_bands joined the request envelope (drift-banded fingerprints);
 # the report record gained sim_stats / eval_stats
-WIRE_SCHEMA_VERSION = 3
+# v4: the report record gained chain_stats (the chain-engine lane)
+WIRE_SCHEMA_VERSION = 4
 
 #: Cache-status labels carried in the ``X-CaQR-Cache`` header and the
 #: response envelope: ``miss`` — this request paid for the compile;

@@ -44,6 +44,7 @@ See ``docs/PORTFOLIO.md`` for the full contract and
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -57,8 +58,10 @@ import networkx as nx
 
 from repro.analysis.metrics import collect_metrics
 from repro.circuit.circuit import QuantumCircuit
-from repro.compile_api import CompileReport, caqr_compile
+from repro.compile_api import CompileReport, _all_to_all, caqr_compile
+from repro.core.chains import ChainReuse
 from repro.core.exact import ExactReuse
+from repro.core.profile import ReuseEvalStats
 from repro.core.qs_caqr import QSCaQR
 from repro.core.sr_caqr import SRCaQR
 from repro.core.sr_commuting import SRCaQRCommuting
@@ -117,6 +120,9 @@ class StrategySpec:
       requires a backend;
     * ``"commuting"`` — a commuting-pipeline sweep variant
       (``candidate_evaluation``, ``strategy``); graph targets only;
+    * ``"chain"`` — the beam-searched chain engine
+      (:class:`~repro.core.chains.ChainReuse`; ``dual``, ``beam_width``,
+      ``objective``); circuit targets only;
     * ``"exact"`` — the branch-and-bound oracle.
     """
 
@@ -144,6 +150,7 @@ class StrategyOutcome:
     route_stats: Optional[RouteStats] = None
     exact_qubits: Optional[int] = None
     exact_optimal: Optional[bool] = None
+    chain_stats: Optional[ReuseEvalStats] = None
 
 
 # -- strategy execution (module-level: runs inside pool workers) ---------------
@@ -240,8 +247,23 @@ def _run_qs_strategy(spec, request, extracted) -> StrategyOutcome:
     return StrategyOutcome(name=spec.name, circuit=circuit)
 
 
+def _sr_lane_seed_base(request, lane: str) -> int:
+    """Per-lane hint-seed anchor, derived from the request fingerprint.
+
+    Each SR lane explores a distinct placement-seed stream (instead of
+    varying only trial counts/objectives), yet stays a pure function of
+    (request, lane name) — so serial and pooled races, and every replica
+    of a fingerprint, derive identical seeds.
+    """
+    digest = hashlib.sha256(
+        f"{request.fingerprint()}:{lane}".encode()
+    ).hexdigest()
+    return int(digest[:8], 16)
+
+
 def _run_sr_strategy(spec, request, extracted) -> StrategyOutcome:
     options = spec.options()
+    seed_base = _sr_lane_seed_base(request, spec.name)
     if isinstance(request.target, nx.Graph) or extracted is not None:
         graph, gamma, beta = (
             extracted
@@ -259,7 +281,10 @@ def _run_sr_strategy(spec, request, extracted) -> StrategyOutcome:
             **kwargs,
         )
         result = router.run(
-            graph, qubit_limit=request.qubit_limit, trials=options.get("trials", 3)
+            graph,
+            qubit_limit=request.qubit_limit,
+            trials=options.get("trials", 3),
+            seed_base=seed_base,
         )
     else:
         router = SRCaQR(
@@ -272,6 +297,7 @@ def _run_sr_strategy(spec, request, extracted) -> StrategyOutcome:
             request.target,
             trials=options.get("trials", 3),
             objective=options.get("objective", "swaps"),
+            seed_base=seed_base,
         )
     return StrategyOutcome(
         name=spec.name, circuit=result.circuit, route_stats=router.stats
@@ -305,6 +331,42 @@ def _run_commuting_strategy(spec, request, extracted) -> StrategyOutcome:
             else point.circuit
         )
     return StrategyOutcome(name=spec.name, circuit=circuit)
+
+
+def _run_chain_strategy(spec, request, extracted) -> StrategyOutcome:
+    options = spec.options()
+    if isinstance(request.target, nx.Graph):
+        raise ReuseError(
+            "chain lane needs a QuantumCircuit target "
+            "(the commuting lanes cover graph inputs)"
+        )
+    chain_stats = ReuseEvalStats()
+    engine = ChainReuse(
+        objective=options.get(
+            "objective", "depth" if request.mode == "min_depth" else "qubits"
+        ),
+        reset_style=request.reset_style,
+        beam_width=options.get("beam_width", 8),
+        register_budget=(
+            request.qubit_limit if request.mode == "qubit_budget" else None
+        ),
+        dual_register=bool(options.get("dual", False)),
+        stats=chain_stats,
+    )
+    result = engine.run(request.target)
+    if request.mode == "qubit_budget":
+        if not result.feasible:
+            raise ReuseError(
+                f"chain lane cannot reach {request.qubit_limit} qubits "
+                f"(reached {result.qubits})"
+            )
+        circuit = _finalize_logical(result.circuit, request.backend, request.seed)
+    elif request.mode == "min_swap":
+        circuit = _finalize_logical(result.circuit, request.backend, request.seed)
+    else:
+        # sweep modes report logical circuits, matching the greedy contract
+        circuit = result.circuit
+    return StrategyOutcome(name=spec.name, circuit=circuit, chain_stats=chain_stats)
 
 
 def _run_exact_strategy(spec, request, extracted) -> StrategyOutcome:
@@ -347,6 +409,7 @@ _STRATEGY_RUNNERS = {
     "qs": _run_qs_strategy,
     "sr": _run_sr_strategy,
     "commuting": _run_commuting_strategy,
+    "chain": _run_chain_strategy,
     "exact": _run_exact_strategy,
 }
 
@@ -533,6 +596,10 @@ class PortfolioCompileService:
         else:
             specs.append(StrategySpec.make("qs-duration", "qs", objective="duration"))
             specs.append(StrategySpec.make("qs-narrow", "qs", lookahead_width=1))
+            specs.append(StrategySpec.make("chain", "chain"))
+            if request.backend is not None and _all_to_all(request.backend):
+                # trapped-ion regime: also race the dual-register cost model
+                specs.append(StrategySpec.make("chain-dual", "chain", dual=True))
             if request.target.num_qubits <= self.exact_max_qubits:
                 specs.append(
                     StrategySpec.make(
@@ -721,6 +788,12 @@ class PortfolioCompileService:
         report = self._assemble_report(
             request, extracted, winner, winner_metrics, outcomes
         )
+        if report.chain_stats is None:
+            # chain-engine observability survives even when another lane
+            # wins the race: the first chain lane's counters ride along
+            chain = next((o for o in outcomes if o.chain_stats is not None), None)
+            if chain is not None:
+                report.chain_stats = chain.chain_stats
         report.strategy = winner.name
         report.strategy_timings = timings
         report.strategy_errors = errors

@@ -44,7 +44,8 @@ __all__ = [
 # optimality_gap, exact_optimal) joined the report record
 # v3: engine-observability fields (eval_stats, sim_stats) joined the
 # report record (the "stats on the wire" item)
-SCHEMA_VERSION = 3
+# v4: chain-engine observability (chain_stats) joined the report record
+SCHEMA_VERSION = 4
 
 
 def circuit_to_dict(circuit: QuantumCircuit) -> Dict[str, Any]:
@@ -185,6 +186,7 @@ def report_to_dict(report: CompileReport) -> Dict[str, Any]:
         "strategy_errors": report.strategy_errors,
         "optimality_gap": report.optimality_gap,
         "exact_optimal": report.exact_optimal,
+        "chain_stats": _eval_stats_to_dict(report.chain_stats),
         # human-readable sidecar only — lossy, never parsed back
         "qasm": to_qasm(report.circuit),
     }
@@ -225,6 +227,7 @@ def report_from_dict(payload: Dict[str, Any]) -> CompileReport:
             if payload.get("exact_optimal") is not None
             else None
         ),
+        chain_stats=_eval_stats_from_dict(payload.get("chain_stats")),
     )
 
 

@@ -27,7 +27,7 @@ import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from threading import Lock
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
@@ -179,6 +179,11 @@ class CompileService:
             ``"ephemeral"`` keeps the old per-call pool.
         disk_entries / disk_bytes: optional per-shard LRU caps on the
             persistent tier (see :class:`~repro.service.cache.DiskCache`).
+        ttl_by_bands: per-``calib_bands`` TTL overrides for the
+            persistent tier — wider (coarser) drift bands tolerate more
+            calibration movement per entry, so they typically get
+            *shorter* lifetimes than exact digests (see
+            :class:`~repro.service.cache.DiskCache`).
     """
 
     def __init__(
@@ -192,6 +197,7 @@ class CompileService:
         workers_mode: Optional[str] = None,
         disk_entries: Optional[int] = None,
         disk_bytes: Optional[int] = None,
+        ttl_by_bands: Optional[Mapping[int, float]] = None,
     ):
         self.stats = stats if stats is not None else ServiceStats()
         memory = MemoryCache(
@@ -204,6 +210,7 @@ class CompileService:
                 ttl=ttl,
                 max_entries_per_shard=disk_entries,
                 max_bytes_per_shard=disk_bytes,
+                ttl_by_bands=ttl_by_bands,
             )
             if cache_dir
             else None
@@ -291,7 +298,7 @@ class CompileService:
             with stats.timed("fingerprint"):
                 key = request.fingerprint()
         shard = request.shard()
-        report = self._lookup(key, shard)
+        report = self._lookup(key, shard, request.resolved_calib_bands())
         if report is not None:
             stats.count("hits")
             return report, key, "hit"
@@ -355,7 +362,9 @@ class CompileService:
         owned: Dict[str, "Future[str]"] = {}
         cold: List[Tuple[str, CompileRequest]] = []
         for key, request in unique.items():
-            text = self._lookup_text(key, shards[key])
+            text = self._lookup_text(
+                key, shards[key], request.resolved_calib_bands()
+            )
             if text is not None:
                 stats.count("hits")
                 texts[key] = text
@@ -429,10 +438,13 @@ class CompileService:
     # -- cache plumbing --------------------------------------------------------
 
     def _lookup_entry(
-        self, key: str, shard: Optional[str] = None
+        self,
+        key: str,
+        shard: Optional[str] = None,
+        bands: Optional[int] = None,
     ) -> Optional[Tuple[str, CompileReport]]:
         with self.stats.timed("lookup"):
-            text = self.cache.get(key, shard)
+            text = self.cache.get(key, shard, bands)
         if text is None:
             return None
         try:
@@ -446,14 +458,22 @@ class CompileService:
             return None
         return text, report
 
-    def _lookup_text(self, key: str, shard: Optional[str] = None) -> Optional[str]:
-        entry = self._lookup_entry(key, shard)
+    def _lookup_text(
+        self,
+        key: str,
+        shard: Optional[str] = None,
+        bands: Optional[int] = None,
+    ) -> Optional[str]:
+        entry = self._lookup_entry(key, shard, bands)
         return entry[0] if entry is not None else None
 
     def _lookup(
-        self, key: str, shard: Optional[str] = None
+        self,
+        key: str,
+        shard: Optional[str] = None,
+        bands: Optional[int] = None,
     ) -> Optional[CompileReport]:
-        entry = self._lookup_entry(key, shard)
+        entry = self._lookup_entry(key, shard, bands)
         return entry[1] if entry is not None else None
 
     def _claim(self, key: str) -> Tuple[bool, "Future[str]"]:

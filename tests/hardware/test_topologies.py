@@ -4,11 +4,14 @@ import pytest
 
 from repro.exceptions import HardwareError
 from repro.hardware import (
+    eagle_127,
     falcon_27,
     full,
     grid,
     heavy_hex,
+    heavy_hex_rows,
     line,
+    osprey_433,
     ring,
     scaled_heavy_hex,
     star,
@@ -72,6 +75,66 @@ class TestHeavyHex:
     def test_scaled_rejects_nonpositive(self):
         with pytest.raises(HardwareError):
             scaled_heavy_hex(0)
+
+
+class TestHeavyHexRows:
+    def test_degree_and_connectivity_invariants(self):
+        """Chain qubits touch at most one rung (degree <= 3), rungs bridge
+        exactly two chains (degree == 2), and the lattice is connected."""
+        for rows, row_len in [(2, 5), (3, 9), (4, 13), (5, 7)]:
+            coupling = heavy_hex_rows(rows, row_len)
+            assert coupling.is_connected()
+            assert coupling.max_degree() <= 3
+            chain_qubits = rows * row_len
+            for q in range(chain_qubits, coupling.num_qubits):
+                assert coupling.degree(q) == 2  # every rung bridges one gap
+
+    def test_single_row_degenerates_to_a_line(self):
+        coupling = heavy_hex_rows(1, 5)
+        assert coupling.num_qubits == 5
+        assert sorted(coupling.edges) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_rung_offsets_alternate_per_gap(self):
+        # 3x9: gap 0 rungs at columns 0/4/8, gap 1 (offset 2) at 2/6
+        coupling = heavy_hex_rows(3, 9)
+        assert coupling.num_qubits == 3 * 9 + 5
+        assert len(coupling.edges) == 3 * 8 + 2 * 5
+
+    def test_trim_drops_highest_rungs_and_keeps_ids_contiguous(self):
+        full_lattice = heavy_hex_rows(3, 9)
+        trimmed = heavy_hex_rows(3, 9, trim=1)
+        assert trimmed.num_qubits == full_lattice.num_qubits - 1
+        assert len(trimmed.edges) == len(full_lattice.edges) - 2
+        assert trimmed.is_connected()
+        assert max(q for edge in trimmed.edges for q in edge) == (
+            trimmed.num_qubits - 1
+        )
+
+    def test_trim_bounds_rejected(self):
+        with pytest.raises(HardwareError):
+            heavy_hex_rows(3, 9, trim=6)  # only 5 rungs exist
+        with pytest.raises(HardwareError):
+            heavy_hex_rows(3, 9, trim=-1)
+
+    def test_shape_bounds_rejected(self):
+        with pytest.raises(HardwareError):
+            heavy_hex_rows(0, 9)
+        with pytest.raises(HardwareError):
+            heavy_hex_rows(3, 2)
+
+    def test_eagle_127_pins_published_counts(self):
+        coupling = eagle_127()
+        assert coupling.num_qubits == 127
+        assert len(coupling.edges) == 142
+        assert coupling.max_degree() == 3
+        assert coupling.is_connected()
+
+    def test_osprey_433_pins_published_counts(self):
+        coupling = osprey_433()
+        assert coupling.num_qubits == 433
+        assert len(coupling.edges) == 502
+        assert coupling.max_degree() == 3
+        assert coupling.is_connected()
 
 
 class TestFalcon27:

@@ -222,6 +222,69 @@ class TestDiskShards:
         assert not path.exists()
 
 
+class TestTtlByBands:
+    @staticmethod
+    def _age(tmp_path, shard, key, seconds):
+        path = tmp_path / shard / f"{key}.json"
+        old = path.stat().st_mtime - seconds
+        os.utime(path, (old, old))
+        return path
+
+    def test_effective_ttl_resolution(self, tmp_path):
+        store = DiskCache(
+            str(tmp_path), ttl=3600.0, ttl_by_bands={1: 60.0, 4: 600.0}
+        )
+        assert store.effective_ttl(1) == 60.0
+        assert store.effective_ttl(4) == 600.0
+        # unmapped bands and band-less lookups use the base TTL
+        assert store.effective_ttl(2) == 3600.0
+        assert store.effective_ttl(None) == 3600.0
+        assert store.effective_ttl(0) == 3600.0
+
+    def test_expiry_ordering_wider_bands_age_faster(self, tmp_path):
+        """The same age is expired for a wide-band lookup, still warm for
+        a fine-band one, and immortal for exact digests — the ordering
+        the drift policy promises."""
+        store = DiskCache(
+            str(tmp_path), ttl=None, ttl_by_bands={1: 60.0, 4: 600.0}
+        )
+        for key, shard in (("a", "s1"), ("b", "s2"), ("c", "s3")):
+            store.put(key, "v", shard=shard)
+            self._age(tmp_path, shard, key, 300)
+        # 300s old: past the wide-band (1 band/decade) TTL of 60s
+        assert store.get("a", shard="s1", bands=1) is None
+        # same age survives under the finer 4-bands/decade TTL of 600s
+        assert store.get("b", shard="s2", bands=4) == "v"
+        # exact digests (banding off) have no TTL at all here
+        assert store.get("c", shard="s3", bands=0) == "v"
+        assert store.stats.counters["expired_entries"] == 1
+
+    def test_band_ttl_overrides_base_in_both_directions(self, tmp_path):
+        store = DiskCache(
+            str(tmp_path), ttl=60.0, ttl_by_bands={2: 3600.0}
+        )
+        store.put("k", "v")
+        self._age(tmp_path, DEFAULT_SHARD, "k", 300)
+        # banded lookup outlives the base TTL...
+        assert store.get("k", bands=2) == "v"
+        # ...while the band-less lookup ages out under it
+        assert store.get("k") is None
+
+    def test_tiered_lookup_threads_bands_to_disk(self, tmp_path):
+        disk = DiskCache(str(tmp_path), ttl_by_bands={1: 60.0})
+        tier = TieredCache(MemoryCache(max_entries=1), disk)
+        disk.put("k", "v")
+        self._age(tmp_path, DEFAULT_SHARD, "k", 300)
+        assert tier.get("k", bands=1) is None
+        assert disk.stats.counters["expired_entries"] == 1
+
+    def test_invalid_ttl_by_bands_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            DiskCache(str(tmp_path), ttl_by_bands={1: 0.0})
+        with pytest.raises(ServiceError):
+            DiskCache(str(tmp_path), ttl_by_bands={-1: 60.0})
+
+
 class TestTieredCache:
     def test_disk_hit_promoted_to_memory(self, tmp_path):
         stats = ServiceStats()

@@ -39,6 +39,58 @@ def _keys(n):
     return [f"key-{i:04d}" for i in range(n)]
 
 
+def _start_flaky_batch_backend():
+    """Stub backend: healthy probes, first ``/v1/compile_batch`` answers
+    500, every later one succeeds with pass-through member results."""
+    import json
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    state = {"batch_calls": 0}
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args):
+            pass
+
+        def _reply(self, status, payload):
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):
+            self._reply(200, {"ok": True})
+
+        def do_POST(self):
+            from repro.service.net.wire import WIRE_SCHEMA_VERSION
+
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length))
+            state["batch_calls"] += 1
+            if state["batch_calls"] == 1:
+                self._reply(
+                    500,
+                    {
+                        "schema": WIRE_SCHEMA_VERSION,
+                        "error": {"code": "internal", "message": "boom"},
+                    },
+                )
+                return
+            results = [
+                {"stub": index} for index in range(len(payload["requests"]))
+            ]
+            self._reply(
+                200, {"schema": WIRE_SCHEMA_VERSION, "results": results}
+            )
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, state
+
+
 class TestHashRing:
     def test_deterministic_across_instances(self):
         members = ["http://a:1", "http://b:2", "http://c:3"]
@@ -266,6 +318,50 @@ class TestGateway:
             GatewayServer(["http://a:1", "http://a:1"])
         with pytest.raises(ServiceError):
             GatewayServer([])
+
+    def test_failed_sub_batch_retries_on_next_replica(self):
+        """A sub-batch whose whole owner-first walk fails is retried once
+        (skipping the failing backend) before the error surfaces, and the
+        retry is counted as ``batch_retries``."""
+        import http.client
+        import json
+
+        from repro.service.net.wire import WIRE_SCHEMA_VERSION, request_to_wire
+
+        stubs = [_start_flaky_batch_backend() for _ in range(2)]
+        urls = [f"http://127.0.0.1:{server.server_address[1]}" for server, _ in stubs]
+        gateway = start_gateway_thread(backends=urls, probe_interval=600.0)
+        try:
+            envelope = {
+                "schema": WIRE_SCHEMA_VERSION,
+                "requests": [
+                    request_to_wire(CompileRequest(target=bv_circuit(4)))
+                ],
+                "parallel": False,
+            }
+            host, port = gateway.url.split("//")[1].split(":")
+            conn = http.client.HTTPConnection(host, int(port), timeout=30)
+            conn.request(
+                "POST",
+                "/v1/compile_batch",
+                json.dumps(envelope).encode(),
+                {"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            conn.close()
+            # both stubs fail their first batch call, so the owner-first
+            # walk dies twice; the retry pass lands on a now-warmed stub
+            assert response.status == 200
+            assert payload["results"] == [{"stub": 0}]
+            assert gateway.gateway.stats.counters.get("batch_retries") == 1
+            calls = sum(state["batch_calls"] for _, state in stubs)
+            assert calls == 3
+        finally:
+            gateway.stop()
+            for server, _ in stubs:
+                server.shutdown()
+                server.server_close()
 
 
 class TestPeerFill:

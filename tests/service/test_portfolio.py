@@ -95,6 +95,49 @@ def test_repeated_compiles_are_identical():
     _assert_same_report(first, second, "repeat")
 
 
+# -- SR lane seed diversity ----------------------------------------------------
+
+
+def test_sr_lanes_derive_distinct_deterministic_seed_bases():
+    """Each SR lane gets its own fingerprint-derived hint-seed stream,
+    and the derivation is a pure function of (request, lane name)."""
+    from repro.service.portfolio import _sr_lane_seed_base
+    from repro.service.service import CompileRequest
+
+    def request():
+        return CompileRequest(
+            target=bv_circuit(4), backend=ibm_mumbai(), mode="min_swap"
+        )
+
+    trials_base = _sr_lane_seed_base(request(), "sr-trials-5")
+    esp_base = _sr_lane_seed_base(request(), "sr-esp")
+    assert trials_base != esp_base
+    # deterministic across replicas of the same request
+    assert trials_base == _sr_lane_seed_base(request(), "sr-trials-5")
+    # and sensitive to the request fingerprint, not just the lane name
+    other = CompileRequest(
+        target=bv_circuit(5), backend=ibm_mumbai(), mode="min_swap"
+    )
+    assert trials_base != _sr_lane_seed_base(other, "sr-trials-5")
+
+
+def test_sr_seed_diversity_keeps_serial_pooled_determinism():
+    """The per-lane seed streams must not break the race contract:
+    serial and pooled min_swap races return bit-identical reports."""
+    circuit = bv_circuit(4)
+    serial = caqr_compile(
+        circuit, backend=ibm_mumbai(), mode="min_swap",
+        strategy="portfolio", objective="qubits",
+        parallel=False, portfolio_workers=1,
+    )
+    pooled = caqr_compile(
+        circuit, backend=ibm_mumbai(), mode="min_swap",
+        strategy="portfolio", objective="qubits",
+        parallel=True, portfolio_workers=4,
+    )
+    _assert_same_report(serial, pooled, "sr-seeded race")
+
+
 # -- objectives ----------------------------------------------------------------
 
 
